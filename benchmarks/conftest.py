@@ -1,0 +1,34 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one table/figure of the paper (see DESIGN.md's
+per-experiment index), asserts its headline *shape* claims, and writes the
+paper-style rows to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+
+The runs are deterministic simulations, so each experiment executes exactly
+once (``benchmark.pedantic(rounds=1)``); the pytest-benchmark timing then
+reports the harness wall time.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Table 1 — memory performance of DQEMU.
+
+Paper rows (throughput MB/s, latency us):
+  QEMU Sequential Access    173.06      -
+  Remote Sequential Access    7.88    410.5
+  Page forwarding Enabled   108.01     83.2
+  QEMU Access of 128 bytes  20259       -
+  False Sharing of 1 Page    2216       -
+  Page Splitting Enabled    75294       -
+
+Absolute magnitudes differ (their 128-byte rows are cache-resident native
+speeds), but the structure must hold: remote access collapses ~20x below
+local QEMU; forwarding recovers most of it and slashes fault latency
+(~410 us -> ~83 us); false sharing collapses aggregate bandwidth; page
+splitting restores it past the single-node baseline.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import run_table1
+
+
+def test_table1_memory(benchmark, record_result):
+    result = run_once(benchmark, run_table1)
+    record_result("table1_memory", result.render())
+
+    qemu_seq, _ = result.row("QEMU Sequential Access")
+    remote, remote_lat = result.row("Remote Sequential Access")
+    fwd, fwd_lat = result.row("Page forwarding Enabled")
+    qemu_128, _ = result.row("QEMU Access of 128 bytes")
+    false_sharing, _ = result.row("False Sharing of 1 Page")
+    splitting, _ = result.row("Page Splitting Enabled")
+
+    # Remote sequential access collapses (paper: 173 -> 7.88, ~22x).
+    assert remote < qemu_seq / 10
+    # Remote page latency calibrated to the paper's 410.5 us (+-20%).
+    assert 330 <= remote_lat <= 500
+    # Forwarding recovers most of the loss (paper: 7.88 -> 108, 13.7x).
+    assert fwd > 5 * remote
+    # ... and collapses the observed fault latency (paper: 83.2 us).
+    assert fwd_lat < remote_lat / 3
+    # False sharing of one page collapses aggregate bandwidth (paper: ~9x
+    # below QEMU; our scaled run sustains ~2.6x — the contended phase is
+    # bounded by wall-clock budget, see EXPERIMENTS.md).
+    assert false_sharing < qemu_128 / 2.5
+    # Page splitting restores parallel bandwidth past the single-node
+    # baseline (paper: 75294 > 20259).
+    assert splitting > 3 * false_sharing
+    assert splitting > qemu_128

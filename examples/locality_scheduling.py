@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Hint-based locality-aware scheduling (paper §5.3), demonstrated.
+
+A fluidanimate-like stencil (one block per thread; neighbours exchange
+boundary cells every iteration) runs twice on the same cluster:
+
+* round-robin placement — neighbour blocks usually land on different
+  nodes, so every boundary read page-faults across the network;
+* hint-based placement — the guest emits `hint` instructions grouping
+  consecutive blocks, and the master's scheduler co-locates each group.
+
+The per-thread time breakdown shows where the win comes from: the
+page-fault component collapses while execution time stays the same.
+
+Run:  python examples/locality_scheduling.py
+"""
+
+from repro import Cluster, DQEMUConfig
+from repro.workloads import fluidanimate
+
+THREADS = 16
+ITERS = 3
+SLAVES = 2
+
+
+def run(scheduler: str):
+    # hint=("div", 8): blocks 0-7 are group 0, blocks 8-15 group 1
+    program = fluidanimate.build(n_threads=THREADS, iters=ITERS, hint=("div", 8))
+    result = Cluster(SLAVES, DQEMUConfig(scheduler=scheduler)).run(program)
+    assert result.stdout == fluidanimate.reference_output(THREADS, ITERS)
+    return result
+
+
+def main() -> None:
+    print(f"{THREADS} stencil blocks, {ITERS} iterations, {SLAVES} slave nodes\n")
+    for scheduler in ("round_robin", "hint"):
+        result = run(scheduler)
+        totals = result.stats.totals()
+        print(f"scheduler = {scheduler}")
+        print(f"  placements        : {result.placements}")
+        print(f"  total time        : {result.virtual_ns / 1e6:8.3f} ms")
+        print(f"  execute (sum)     : {totals['execute_ns'] / 1e6:8.3f} ms")
+        print(f"  page faults (sum) : {totals['pagefault_ns'] / 1e6:8.3f} ms")
+        print(f"  syscalls (sum)    : {totals['syscall_ns'] / 1e6:8.3f} ms\n")
+    print("Hint-based grouping keeps each block's neighbours on the same node,")
+    print("so the boundary exchange stops crossing the network (paper Fig. 8).")
+
+
+if __name__ == "__main__":
+    main()

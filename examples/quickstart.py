@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: assemble a guest program and run it on a DQEMU cluster.
+
+Shows the core public API end to end:
+
+* write GA64 assembly (the guest ISA) and assemble it;
+* build a Cluster (1 master + N slaves) and run the program;
+* inspect the result: stdout, exit code, virtual time, protocol counters.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Cluster, DQEMUConfig, assemble
+
+SOURCE = """
+# Hello world, distributed: main writes a greeting, then spawns no threads.
+_start:
+    li a0, 1            # fd = stdout
+    la a1, message
+    li a2, 22
+    li a7, 64           # write(2)
+    ecall
+
+    li a0, 0
+    li a7, 94           # exit_group(0)
+    ecall
+
+.data
+message: .asciz "hello from the guest!\\n"
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+
+    # A cluster with 2 slave nodes, default paper-calibrated configuration
+    # (4 cores/node @ 3.3 GHz, 1 Gb/s switch, ~55 us RTT).
+    cluster = Cluster(n_slaves=2, config=DQEMUConfig())
+    result = cluster.run(program)
+
+    print("guest stdout :", result.stdout.strip())
+    print("exit code    :", result.exit_code)
+    print(f"virtual time : {result.virtual_ns / 1e6:.3f} ms")
+    print("page requests:", result.stats.protocol.page_requests)
+    print("syscalls     :", result.stats.protocol.delegated_syscalls, "delegated,",
+          result.stats.protocol.local_syscalls, "local")
+    print("messages     :", result.fabric.messages_sent, "on the wire,",
+          result.fabric.bytes_sent, "bytes")
+
+    assert result.stdout == "hello from the guest!\n"
+    assert result.exit_code == 0
+    print("\nOK — the guest ran across the simulated cluster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for offline editable installs.
+
+The evaluation environment has no network access and no ``wheel`` package, so
+PEP 517 editable builds fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``python setup.py develop``) work. Package
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Experiment harnesses, metrics and reporting for the paper's evaluation."""
+
+from repro.analysis.experiments import (
+    Fig5Result,
+    Fig6Result,
+    Fig7Result,
+    Fig8Result,
+    Table1Result,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table1,
+)
+from repro.analysis.metrics import (
+    mean_fault_latency_us,
+    normalized,
+    speedup,
+    throughput_mbps,
+)
+from repro.analysis.reporting import render_series, render_table
+
+__all__ = [
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Table1Result",
+    "mean_fault_latency_us",
+    "normalized",
+    "render_series",
+    "render_table",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table1",
+    "speedup",
+    "throughput_mbps",
+]

@@ -1,0 +1,443 @@
+"""Experiment harnesses: one per table/figure of the paper's evaluation (§6).
+
+Each ``run_*`` function regenerates the corresponding result — same
+workload, same parameter roles, same series — on the simulated cluster, and
+returns a structured result with a ``render()`` that prints the paper-style
+rows.  Scale notes:
+
+* Iteration counts are scaled down (Python simulation vs. a real cluster);
+  where an experiment's *compute* is scaled by k, its *communication* costs
+  are scaled by the same k (``DQEMUConfig.time_scaled``) so that the
+  compute:communication ratio — and therefore the curve shape — is
+  preserved.  Table 1 and Fig. 6/8 run with the real (unscaled) §6.1 network
+  constants, since those experiments measure the communication costs
+  themselves.
+* The benchmarks in ``benchmarks/`` call these with their default
+  parameters; EXPERIMENTS.md records paper-vs-measured for every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import mean_fault_latency_us, speedup, throughput_mbps
+from repro.analysis.reporting import render_series, render_table
+from repro.baselines.qemu import run_qemu
+from repro.core.cluster import Cluster, RunResult
+from repro.core.config import DQEMUConfig
+from repro.workloads import (
+    blackscholes,
+    fluidanimate,
+    memaccess,
+    mutex_bench,
+    pi_taylor,
+    swaptions,
+    x264,
+)
+
+__all__ = [
+    "Fig5Result",
+    "Fig6Result",
+    "Table1Result",
+    "Fig7Result",
+    "Fig8Result",
+    "run_fig5",
+    "run_fig6",
+    "run_table1",
+    "run_fig7",
+    "run_fig8",
+]
+
+RUN_KW = dict(max_virtual_ms=60_000_000)
+MAIN_TID = 1
+
+
+def _worker_tids(result: RunResult) -> list[int]:
+    return [tid for tid in result.stats.threads if tid != MAIN_TID]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — performance scalability (pi by Taylor series, no sharing)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig5Result:
+    slave_counts: list[int]
+    times_ns: dict[int, int]
+    qemu_ns: int
+    params: dict
+
+    @property
+    def speedups(self) -> dict[int, float]:
+        base = self.times_ns[self.slave_counts[0]]
+        return {n: base / t for n, t in self.times_ns.items()}
+
+    @property
+    def qemu_speedup(self) -> float:
+        return self.times_ns[self.slave_counts[0]] / self.qemu_ns
+
+    def render(self) -> str:
+        return render_series(
+            "Fig. 5 — speedup vs slave nodes (pi-Taylor, no sharing)",
+            self.slave_counts,
+            {
+                "DQEMU": [self.speedups[n] for n in self.slave_counts],
+                "QEMU-4.2.0": [self.qemu_speedup] * len(self.slave_counts),
+            },
+        )
+
+
+def run_fig5(
+    n_threads: int = 48,
+    terms: int = 1500,
+    reps: int = 22,
+    slave_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    comm_scale: float = 1000.0,
+) -> Fig5Result:
+    """Paper: 120 threads x 64 K series; here compute and communication are
+    both scaled down by ~the same factor (see module docstring)."""
+    prog = pi_taylor.build(n_threads=n_threads, terms=terms, reps=reps)
+    cfg = DQEMUConfig().time_scaled(comm_scale)
+    times = {}
+    for n in slave_counts:
+        times[n] = Cluster(n, cfg).run(prog, **RUN_KW).virtual_ns
+    qemu_ns = run_qemu(prog, config=cfg, **RUN_KW).virtual_ns
+    return Fig5Result(
+        slave_counts=list(slave_counts),
+        times_ns=times,
+        qemu_ns=qemu_ns,
+        params=dict(n_threads=n_threads, terms=terms, reps=reps, comm_scale=comm_scale),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — mutex performance, worst (global lock) and best (private lock) case
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig6Result:
+    slave_counts: list[int]
+    worst_ns: dict[int, int]
+    best_ns: dict[int, int]
+    qemu_worst_ns: int
+    qemu_best_ns: int
+    params: dict
+
+    def render(self) -> str:
+        ms = lambda v: v / 1e6
+        return render_series(
+            "Fig. 6 — mutex elapsed time (ms) vs slave nodes",
+            self.slave_counts,
+            {
+                "DQEMU-1 (global lock)": [ms(self.worst_ns[n]) for n in self.slave_counts],
+                "DQEMU-2 (private lock)": [ms(self.best_ns[n]) for n in self.slave_counts],
+                "QEMU-1": [ms(self.qemu_worst_ns)] * len(self.slave_counts),
+                "QEMU-2": [ms(self.qemu_best_ns)] * len(self.slave_counts),
+            },
+        )
+
+
+def run_fig6(
+    n_threads: int = 32,
+    worst_iters: int = 5_000,
+    best_iters: int = 15_000,
+    slave_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+) -> Fig6Result:
+    """Paper: 32 threads; worst case 5 000 ops on one global lock, best case
+    500 000 ops on private locks (best_iters is scaled down; per-op costs are
+    iteration-count independent)."""
+    cfg = lambda: DQEMUConfig(quantum_cycles=5_000)
+    elapsed = lambda r: mutex_bench.elapsed_ns(r.stdout)
+    worst, best = {}, {}
+    for n in slave_counts:
+        worst[n] = elapsed(
+            Cluster(n, cfg()).run(
+                mutex_bench.build(n_threads, worst_iters, private=False), **RUN_KW
+            )
+        )
+        best[n] = elapsed(
+            Cluster(n, cfg()).run(
+                mutex_bench.build(n_threads, best_iters, private=True), **RUN_KW
+            )
+        )
+    qemu_worst = elapsed(
+        run_qemu(
+            mutex_bench.build(n_threads, worst_iters, private=False),
+            config=cfg(), **RUN_KW,
+        )
+    )
+    qemu_best = elapsed(
+        run_qemu(
+            mutex_bench.build(n_threads, best_iters, private=True),
+            config=cfg(), **RUN_KW,
+        )
+    )
+    return Fig6Result(
+        slave_counts=list(slave_counts),
+        worst_ns=worst,
+        best_ns=best,
+        qemu_worst_ns=qemu_worst,
+        qemu_best_ns=qemu_best,
+        params=dict(n_threads=n_threads, worst_iters=worst_iters, best_iters=best_iters),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — memory performance (sequential walks and false sharing)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Result:
+    rows: list[tuple[str, float, Optional[float]]]  # (name, MB/s, latency us)
+    params: dict
+
+    def render(self) -> str:
+        return render_table(
+            ["Access Type", "Throughput(MB/s)", "Latency(us)"],
+            [(n, t, "-" if l is None else l) for n, t, l in self.rows],
+            title="Table 1 — memory performance",
+        )
+
+    def row(self, name: str) -> tuple[float, Optional[float]]:
+        for n, t, l in self.rows:
+            if n == name:
+                return t, l
+        raise KeyError(name)
+
+
+def run_table1(
+    seq_pages: int = 256,
+    fs_threads: int = 32,
+    fs_nodes: int = 4,
+    fs_iters: int = 400_000,
+    fs_warmup: int = 40_000,
+) -> Table1Result:
+    """Paper: a 1 GB sequential walk (here ``seq_pages`` pages) and a
+    32-thread false-sharing walk over one page's 128-byte sections, on the
+    real §6.1 network constants."""
+    rows: list[tuple[str, float, Optional[float]]] = []
+    seq_prog = memaccess.build_seq_walk(npages=seq_pages)
+    seq_bytes = memaccess.seq_walk_bytes(seq_pages)
+
+    def seq_row(name, r, with_latency=True):
+        elapsed, _checksum = memaccess.parse_output(r.stdout)
+        rows.append(
+            (
+                name,
+                throughput_mbps(seq_bytes, elapsed),
+                mean_fault_latency_us(r, _worker_tids(r)) if with_latency else None,
+            )
+        )
+
+    seq_row("QEMU Sequential Access", run_qemu(seq_prog, **RUN_KW), with_latency=False)
+    seq_row("Remote Sequential Access", Cluster(1, DQEMUConfig()).run(seq_prog, **RUN_KW))
+    seq_row(
+        "Page forwarding Enabled",
+        Cluster(1, DQEMUConfig(forwarding_enabled=True)).run(seq_prog, **RUN_KW),
+    )
+
+    fs_prog = memaccess.build_false_sharing(
+        fs_threads, fs_nodes, fs_iters, warmup_iters=fs_warmup
+    )
+
+    def fs_row(name, r):
+        elapsed, _checksum = memaccess.parse_false_sharing_output(r.stdout)
+        rows.append((name, memaccess.aggregate_bandwidth_mbps(elapsed, fs_iters), None))
+
+    fs_row("QEMU Access of 128 bytes", run_qemu(fs_prog, **RUN_KW))
+    fs_row("False Sharing of 1 Page", Cluster(fs_nodes, DQEMUConfig()).run(fs_prog, **RUN_KW))
+    fs_row(
+        "Page Splitting Enabled",
+        Cluster(fs_nodes, DQEMUConfig(splitting_enabled=True)).run(fs_prog, **RUN_KW),
+    )
+
+    return Table1Result(
+        rows=rows,
+        params=dict(seq_pages=seq_pages, fs_threads=fs_threads,
+                    fs_nodes=fs_nodes, fs_iters=fs_iters, fs_warmup=fs_warmup),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — PARSEC speedups (blackscholes / swaptions) with ablation series
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig7Result:
+    workload: str
+    slave_counts: list[int]
+    times_ns: dict[str, dict[int, int]]  # series -> nodes -> ns
+    qemu_ns: int
+    params: dict
+
+    def speedups(self, series: str) -> dict[int, float]:
+        base = self.times_ns["origin"][self.slave_counts[0]]
+        return {n: base / t for n, t in self.times_ns[series].items()}
+
+    @property
+    def qemu_speedup(self) -> float:
+        return self.times_ns["origin"][self.slave_counts[0]] / self.qemu_ns
+
+    def render(self) -> str:
+        series = {
+            name: [self.speedups(name)[n] for n in self.slave_counts]
+            for name in self.times_ns
+        }
+        series["qemu-4.2.0"] = [self.qemu_speedup] * len(self.slave_counts)
+        return render_series(
+            f"Fig. 7 — {self.workload}: speedup vs slave nodes "
+            "(normalized to 1 slave, origin)",
+            self.slave_counts,
+            series,
+        )
+
+
+_FIG7_SERIES = {
+    "origin": dict(),
+    "forwarding": dict(forwarding_enabled=True),
+    "forwarding+splitting": dict(forwarding_enabled=True, splitting_enabled=True),
+}
+
+
+def run_fig7(
+    workload: str = "blackscholes",
+    slave_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    n_threads: int = 16,
+    comm_scale: float = 100.0,
+    **wl_params,
+) -> Fig7Result:
+    if workload == "blackscholes":
+        # Slices deliberately not page-multiples: result-array boundary pages
+        # false-share between adjacent threads, as in the real benchmark.
+        params = dict(
+            n_options=wl_params.pop("n_options", 16320),
+            reps=wl_params.pop("reps", 16),
+        )
+        prog = blackscholes.build(n_threads=n_threads, **params)
+    elif workload == "swaptions":
+        params = dict(
+            n_swaptions=wl_params.pop("n_swaptions", 256),
+            trials=wl_params.pop("trials", 2000),
+        )
+        prog = swaptions.build(n_threads=n_threads, **params)
+    else:
+        raise ValueError(f"unknown Fig. 7 workload {workload!r}")
+    if wl_params:
+        raise TypeError(f"unexpected params {sorted(wl_params)}")
+
+    base_cfg = DQEMUConfig().time_scaled(comm_scale)
+    times: dict[str, dict[int, int]] = {}
+    for name, opts in _FIG7_SERIES.items():
+        times[name] = {}
+        for n in slave_counts:
+            cfg = base_cfg.with_options(**opts)
+            times[name][n] = Cluster(n, cfg).run(prog, **RUN_KW).virtual_ns
+    qemu_ns = run_qemu(prog, config=base_cfg, **RUN_KW).virtual_ns
+    return Fig7Result(
+        workload=workload,
+        slave_counts=list(slave_counts),
+        times_ns=times,
+        qemu_ns=qemu_ns,
+        params=dict(n_threads=n_threads, comm_scale=comm_scale, **params),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — per-thread time breakdown with hint-based scheduling (x264 / fluid)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig8Result:
+    workload: str
+    slave_counts: list[int]
+    #: (nodes, scheduler) -> {"execute_ns", "pagefault_ns", "syscall_ns"}
+    breakdowns: dict[tuple[int, str], dict[str, float]]
+    qemu_mean_ns: float
+    params: dict
+
+    def normalized(self, nodes: int, scheduler: str) -> dict[str, float]:
+        bd = self.breakdowns[(nodes, scheduler)]
+        return {k: v / self.qemu_mean_ns for k, v in bd.items()}
+
+    def total(self, nodes: int, scheduler: str) -> float:
+        return sum(self.breakdowns[(nodes, scheduler)].values())
+
+    def render(self) -> str:
+        rows = []
+        for n in self.slave_counts:
+            for sched in ("hint", "round_robin"):
+                norm = self.normalized(n, sched)
+                rows.append(
+                    (
+                        n,
+                        sched,
+                        norm["execute_ns"],
+                        norm["pagefault_ns"],
+                        norm["syscall_ns"],
+                        sum(norm.values()),
+                    )
+                )
+        return render_table(
+            ["nodes", "scheduler", "execute", "pagefault", "syscall", "total"],
+            rows,
+            title=(
+                f"Fig. 8 — {self.workload}: mean per-thread time breakdown, "
+                "normalized to QEMU-4.2.0"
+            ),
+        )
+
+
+def run_fig8(
+    workload: str = "x264",
+    slave_counts: Sequence[int] = (2, 3, 4, 5, 6),
+    n_threads: int = 128,
+    **wl_params,
+) -> Fig8Result:
+    def build(n_nodes: int):
+        if workload == "x264":
+            # Largest power-of-two group with >= 2 groups per node (the
+            # paper embeds several grouping strategies and picks by node
+            # count); n_threads is expected to be a power of two.
+            group = wl_params.get("group_size")
+            if group is None:
+                group = 2
+                while group * 2 * (2 * n_nodes) <= n_threads:
+                    group *= 2
+            return x264.build(
+                n_frames=n_threads,
+                group_size=group,
+                pages_per_frame=wl_params.get("pages_per_frame", 2),
+                passes=wl_params.get("passes", 6),
+                hint=("div", group),
+            )
+        if workload == "fluidanimate":
+            block = max(n_threads // n_nodes, 1)
+            return fluidanimate.build(
+                n_threads=n_threads,
+                iters=wl_params.get("iters", 4),
+                hint=("div", block),
+            )
+        raise ValueError(f"unknown Fig. 8 workload {workload!r}")
+
+    breakdowns = {}
+    for n in slave_counts:
+        prog = build(n)
+        for sched in ("hint", "round_robin"):
+            r = Cluster(n, DQEMUConfig(scheduler=sched)).run(prog, **RUN_KW)
+            breakdowns[(n, sched)] = r.stats.mean_breakdown(_worker_tids(r))
+    qemu = run_qemu(build(slave_counts[0]), **RUN_KW)
+    qemu_mean = qemu.stats.mean_breakdown(_worker_tids(qemu))
+    qemu_total = sum(qemu_mean.values())
+    return Fig8Result(
+        workload=workload,
+        slave_counts=list(slave_counts),
+        breakdowns=breakdowns,
+        qemu_mean_ns=qemu_total,
+        params=dict(n_threads=n_threads, **wl_params),
+    )

@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results (paper-style rows/series)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.1f}"
+        if abs(v) >= 10:
+            return f"{v:.2f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    cells = [[format_value(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[Any], series: dict[str, Sequence[float]]) -> str:
+    """Render figure-style data: one x column, one column per series."""
+    headers = ["x"] + list(series)
+    rows = [[x, *(vals[i] for vals in series.values())] for i, x in enumerate(xs)]
+    return render_table(headers, rows, title=name)

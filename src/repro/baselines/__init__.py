@@ -1,0 +1,5 @@
+"""Baseline comparators: the single-node vanilla QEMU model."""
+
+from repro.baselines.qemu import qemu_config, run_qemu
+
+__all__ = ["qemu_config", "run_qemu"]

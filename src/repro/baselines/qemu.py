@@ -1,0 +1,31 @@
+"""Vanilla single-node QEMU baseline (the paper's QEMU 4.2.0 comparator).
+
+A DQEMU cluster with zero slaves, the DSM layer removed (all pages local),
+syscalls executed directly against a local kernel, and the ~4 % per-
+instruction discount the paper measures for vanilla QEMU over a one-node
+DQEMU (Fig. 5's dashed line).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cluster import Cluster, RunResult
+from repro.core.config import DQEMUConfig
+from repro.isa.program import Program
+
+__all__ = ["qemu_config", "run_qemu"]
+
+
+def qemu_config(base: Optional[DQEMUConfig] = None) -> DQEMUConfig:
+    base = base or DQEMUConfig()
+    return base.with_options(
+        pure_qemu=True,
+        forwarding_enabled=False,
+        splitting_enabled=False,
+    )
+
+
+def run_qemu(program: Program, *, config: Optional[DQEMUConfig] = None, **run_kwargs) -> RunResult:
+    """Run ``program`` under the single-node QEMU model."""
+    return Cluster(0, qemu_config(config)).run(program, **run_kwargs)

@@ -1,0 +1,5 @@
+"""Command-line tools: repro-run, repro-asm, repro-experiments."""
+
+from repro.cli import asm, experiments, run
+
+__all__ = ["asm", "experiments", "run"]

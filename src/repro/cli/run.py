@@ -1,0 +1,100 @@
+"""``repro-run``: run a GA64 assembly program on a simulated DQEMU cluster.
+
+Examples::
+
+    repro-run prog.s --slaves 4
+    repro-run prog.s --slaves 2 --forwarding --splitting --scheduler hint
+    repro-run prog.s --trace --trace-limit 50
+    echo data | repro-run prog.s --stdin -
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import Cluster, DQEMUConfig, assemble
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Run a GA64 assembly program on a simulated DQEMU cluster.",
+    )
+    p.add_argument("source", help="GA64 assembly file (use '-' for stdin)")
+    p.add_argument("--slaves", type=int, default=1, help="slave node count (default 1)")
+    p.add_argument("--cores", type=int, default=4, help="cores per node (default 4)")
+    p.add_argument("--forwarding", action="store_true", help="enable data forwarding (§5.2)")
+    p.add_argument("--splitting", action="store_true", help="enable page splitting (§5.1)")
+    p.add_argument(
+        "--scheduler", choices=("round_robin", "hint"), default="round_robin",
+        help="thread placement policy (§5.3)",
+    )
+    p.add_argument("--qemu", action="store_true",
+                   help="run the vanilla single-node QEMU baseline instead")
+    p.add_argument("--stdin", default=None,
+                   help="file fed to the guest's stdin ('-' for this process's stdin)")
+    p.add_argument("--file", action="append", default=[], metavar="PATH",
+                   help="preload a host file into the guest VFS (repeatable)")
+    p.add_argument("--max-ms", type=float, default=60_000.0,
+                   help="virtual-time budget in ms (default 60000)")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="divide communication costs by this factor")
+    p.add_argument("--trace", action="store_true", help="record a protocol trace")
+    p.add_argument("--trace-limit", type=int, default=100,
+                   help="trace lines to print (default 100)")
+    p.add_argument("--stats", action="store_true", help="print protocol counters")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    source = sys.stdin.read() if args.source == "-" else Path(args.source).read_text()
+    program = assemble(source)
+
+    stdin = b""
+    if args.stdin == "-":
+        stdin = sys.stdin.buffer.read()
+    elif args.stdin:
+        stdin = Path(args.stdin).read_bytes()
+    files = {Path(f).name: Path(f).read_bytes() for f in args.file}
+
+    config = DQEMUConfig(
+        cores_per_node=args.cores,
+        forwarding_enabled=args.forwarding,
+        splitting_enabled=args.splitting,
+        scheduler=args.scheduler,
+        pure_qemu=args.qemu,
+    )
+    if args.time_scale != 1.0:
+        config = config.time_scaled(args.time_scale)
+
+    cluster = Cluster(0 if args.qemu else args.slaves, config, trace=args.trace)
+    result = cluster.run(program, stdin=stdin, files=files, max_virtual_ms=args.max_ms)
+
+    sys.stdout.write(result.stdout)
+    if result.stderr:
+        sys.stderr.write(result.stderr)
+    print(f"[exit {result.exit_code}; {result.virtual_ns / 1e6:.3f} ms virtual]",
+          file=sys.stderr)
+
+    if args.stats:
+        p = result.stats.protocol
+        print(
+            f"[page requests {p.page_requests} (r{p.read_requests}/w{p.write_requests}),"
+            f" invalidations {p.invalidations}, forwarded {p.pages_forwarded},"
+            f" splits {p.splits}, merges {p.merges},"
+            f" syscalls {p.delegated_syscalls} delegated/{p.local_syscalls} local]",
+            file=sys.stderr,
+        )
+    if args.trace and result.trace is not None:
+        print(result.trace.render(limit=args.trace_limit), file=sys.stderr)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,209 @@
+"""Public entry point: build a DQEMU cluster and run a guest program on it.
+
+Usage::
+
+    from repro import Cluster, DQEMUConfig, assemble
+
+    cluster = Cluster(n_slaves=4, config=DQEMUConfig(forwarding_enabled=True))
+    result = cluster.run(program)
+    print(result.stdout, result.virtual_seconds)
+
+One :class:`Cluster` is single-use (it owns a simulator instance); create a
+fresh one per run, as the experiments do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import DQEMUConfig
+from repro.core.localkernel import LocalKernel
+from repro.core.master import MasterRuntime
+from repro.core.node import NodeRuntime
+from repro.core.scheduler import ThreadPlacer
+from repro.core.stats import RunStats
+from repro.core.trace import NULL_TRACER, Tracer
+from repro.dbt.cpu import CPUState
+from repro.errors import ConfigError, SimulationError
+from repro.isa.program import Program
+from repro.kernel.syscalls import SystemState
+from repro.mem.layout import STACK_TOP, page_of
+from repro.mem.msi import MSIState
+from repro.mem.pagestore import PageStore
+from repro.net.fabric import Fabric, FabricStats
+from repro.sim.engine import Simulator
+
+__all__ = ["Cluster", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    exit_code: int
+    stdout: str
+    stderr: str
+    virtual_ns: int
+    stats: RunStats
+    fabric: Optional[FabricStats] = None
+    placements: dict[int, int] = field(default_factory=dict)
+    files: dict[str, bytes] = field(default_factory=dict)
+    trace: Optional["Tracer"] = None  # set when the cluster ran with trace=True
+
+    @property
+    def virtual_seconds(self) -> float:
+        return self.virtual_ns / 1e9
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(exit_code={self.exit_code}, virtual_seconds="
+            f"{self.virtual_seconds:.6f}, threads={len(self.stats.threads)})"
+        )
+
+
+class Cluster:
+    """A master plus ``n_slaves`` slave nodes (paper Fig. 2)."""
+
+    def __init__(self, n_slaves: int = 0, config: Optional[DQEMUConfig] = None,
+                 *, trace: bool = False):
+        if n_slaves < 0:
+            raise ConfigError("n_slaves must be >= 0")
+        self.config = config or DQEMUConfig()
+        if self.config.pure_qemu and n_slaves:
+            raise ConfigError("the QEMU baseline is single-node (n_slaves=0)")
+        self.n_slaves = n_slaves
+        self.tracer = Tracer() if trace else NULL_TRACER
+        self._used = False
+
+    # -- running ------------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        *,
+        stdin: bytes = b"",
+        files: Optional[dict[str, bytes]] = None,
+        max_virtual_ms: Optional[float] = None,
+    ) -> RunResult:
+        if self._used:
+            raise ConfigError("Cluster instances are single-use; build a new one")
+        self._used = True
+        cfg = self.config
+
+        sim = Simulator()
+        fabric = Fabric(
+            sim,
+            bandwidth_bps=cfg.bandwidth_bps,
+            one_way_latency_ns=cfg.one_way_latency_ns,
+            loopback_latency_ns=cfg.loopback_latency_ns,
+        )
+        stats = RunStats()
+        done = sim.event()
+
+        def fail(exc: BaseException) -> None:
+            if not done.triggered:
+                done.fail(exc)
+
+        self.tracer.bind_clock(lambda: sim.now)
+        node_ids = list(range(self.n_slaves + 1))
+        nodes = {
+            nid: NodeRuntime(
+                sim, fabric, nid, cfg, stats, on_failure=fail, tracer=self.tracer
+            )
+            for nid in node_ids
+        }
+
+        # Authoritative guest memory on the master (the "home" copies).
+        home = PageStore()
+        for vaddr, data in program.iter_load_segments():
+            self._load_segment(home, vaddr, data)
+
+        state = SystemState(
+            brk_start=program.load_end, stdin=stdin, clock_ns=lambda: sim.now
+        )
+        if files:
+            for path, data in files.items():
+                state.vfs.add_file(path, data)
+
+        candidates = node_ids[1:] if (self.n_slaves and not cfg.schedule_on_master) else [0]
+        placer = ThreadPlacer(cfg.scheduler, candidates)
+
+        master: Optional[MasterRuntime] = None
+        if cfg.pure_qemu:
+            nodes[0].local_kernel = LocalKernel(
+                nodes[0], state, finish=lambda status: self._finish_local(nodes[0], done, status)
+            )
+            # The baseline executes against its own page store directly.
+            for page in home.pages():
+                nodes[0].pagestore.install(page, home.snapshot(page), MSIState.MODIFIED)
+        else:
+            master = MasterRuntime(
+                sim, cfg, nodes[0], node_ids, home, state, placer, stats, done
+            )
+
+        # Main thread starts on the master (paper Fig. 2).
+        main_rec = state.threads.create(node=0, parent_tid=0)
+        main_cpu = CPUState(pc=program.entry, tid=main_rec.tid, sp=STACK_TOP - 64)
+
+        for node in nodes.values():
+            node.start()
+        if master is not None:
+            master.start()
+        nodes[0].add_thread(main_cpu)
+
+        deadline = None if max_virtual_ms is None else int(max_virtual_ms * 1e6)
+        exit_code = self._drive(sim, done, deadline)
+
+        # -- collect results ----------------------------------------------------
+        stats.wall_ns = sim.now
+        for node in nodes.values():
+            stats.insns_executed += node.engine.insns_executed
+            stats.insns_translated += node.engine.insns_translated
+        return RunResult(
+            exit_code=exit_code,
+            stdout=state.vfs.stdout_text(),
+            stderr=state.vfs.stderr_text(),
+            virtual_ns=sim.now,
+            stats=stats,
+            fabric=fabric.stats,
+            placements=placer.distribution(),
+            files=state.vfs.dump_files(),
+            trace=self.tracer if self.tracer.enabled else None,
+        )
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _load_segment(home: PageStore, vaddr: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            page = page_of(vaddr + pos)
+            off = (vaddr + pos) & 0xFFF
+            n = min(4096 - off, len(data) - pos)
+            buf = home.ensure(page, MSIState.SHARED)
+            buf[off : off + n] = data[pos : pos + n]
+            pos += n
+
+    @staticmethod
+    def _finish_local(node: NodeRuntime, done, status: int) -> None:
+        node.shutdown = True
+        for _ in range(node.n_cores):
+            node.runqueue.put(None)
+        if not done.triggered:
+            done.succeed(status & 0xFF)
+
+    @staticmethod
+    def _drive(sim: Simulator, done, deadline: Optional[int]) -> int:
+        while not done.processed:
+            if not sim._heap:
+                raise SimulationError(
+                    f"guest program deadlocked at t={sim.now} ns "
+                    "(all threads blocked, no pending events)"
+                )
+            if deadline is not None and sim._heap[0][0] > deadline:
+                raise SimulationError(
+                    f"virtual-time budget exceeded ({deadline} ns): guest still running"
+                )
+            sim.step()
+        if not done.ok:
+            raise done.value
+        return done.value

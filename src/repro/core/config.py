@@ -1,0 +1,152 @@
+"""DQEMU configuration and calibrated cost model.
+
+Defaults reproduce the paper's testbed (§6.1): nodes with 4 cores at
+3.3 GHz, a 1 Gb/s switch with ~55 µs round-trip for small control messages,
+4 KiB pages, forwarding triggered by 4 sequential page requests, splitting
+by 10 multi-node false-sharing requests.
+
+Calibration notes (see EXPERIMENTS.md for the resulting numbers):
+
+* ``page_fault_trap_cycles = 2000`` — the paper cites ~2 000 cycles for a
+  page-fault trap.
+* ``dsm_service_ns = 320_000`` — the measured remote-page latency in the
+  paper is 410.5 µs against a ~40 µs wire lower bound; the residual is
+  master-side protocol software (directory lookup, mprotect fiddling,
+  manager queueing).  We bill it as the manager's per-request service time.
+* ``qemu_cpi_discount`` — vanilla QEMU 4.2.0 runs ~4 % faster than a
+  one-node DQEMU (Fig. 5's dashed line at 1.04): DQEMU adds a shadow-page
+  lookup to guest address translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["DQEMUConfig"]
+
+
+@dataclass(frozen=True)
+class DQEMUConfig:
+    # -- cluster shape -------------------------------------------------------
+    cores_per_node: int = 4
+    cpu_ghz: float = 3.3
+    # Heterogeneous clusters (paper §1: DBT "allows nodes in a cluster to
+    # have different kinds of physical cores"): per-node overrides of core
+    # count and clock, keyed by node id.  None = homogeneous.
+    node_cores: Optional[dict[int, int]] = None
+    node_ghz: Optional[dict[int, float]] = None
+
+    # -- network (paper §6.1: TP-Link Gigabit switch, 55 us TCP RTT) ----------
+    bandwidth_bps: float = 1e9
+    one_way_latency_ns: int = 27_400
+    loopback_latency_ns: int = 300
+
+    # -- DBT engine ----------------------------------------------------------
+    mode: str = "dbt"  # "dbt" | "interp"
+    cpi_dbt: float = 3.0
+    cpi_interp: float = 30.0
+    translate_per_insn: float = 800.0
+    max_block_insns: int = 64
+    quantum_cycles: int = 50_000
+
+    # -- DSM / coherence ----------------------------------------------------
+    page_fault_trap_cycles: int = 2_000
+    dsm_service_ns: int = 320_000  # master manager per page-request
+    # A request racing an already-delivered forwarded page (the directory
+    # already lists the node as sharer) is a cheap directory-lookup ack.
+    dsm_fast_service_ns: int = 2_000
+    slave_coherence_service_ns: int = 2_000  # slave handling inval/downgrade
+    syscall_service_ns: int = 3_000  # master executing a delegated syscall
+    syscall_trap_cycles: int = 500  # local trap cost (both modes)
+
+    # -- optimizations (§5) ----------------------------------------------------
+    forwarding_enabled: bool = False
+    forwarding_trigger: int = 4  # sequential requests before pushing (§6.1.1)
+    forwarding_initial_window: int = 8
+    # Linux-readahead-style doubling; a large cap keeps long streams miss-free
+    # (the paper's 1 GB walk approaches wire speed, 108 MB/s on 1 Gb/s).
+    forwarding_max_window: int = 256
+    forwarding_push_ns: int = 4_000  # master-side cost per pushed page
+
+    splitting_enabled: bool = False
+    splitting_trigger: int = 10  # multi-node requests before split (§6.1.1)
+    splitting_max_regions: int = 32
+    splitting_history: int = 64  # per-page access records kept
+    split_service_ns: int = 50_000  # master work: probe space, copy, broadcast
+    merge_service_ns: int = 50_000
+
+    # -- scheduling (§5.3) ----------------------------------------------------
+    scheduler: str = "round_robin"  # "round_robin" | "hint"
+    schedule_on_master: bool = False  # workers normally go to slave nodes
+
+    # -- baseline -------------------------------------------------------------
+    pure_qemu: bool = False  # single-node vanilla-QEMU model (no DSM layer)
+    qemu_cpi_discount: float = 0.96
+
+    def __post_init__(self):
+        if self.cores_per_node < 1:
+            raise ConfigError("cores_per_node must be >= 1")
+        if self.mode not in ("dbt", "interp"):
+            raise ConfigError(f"unknown mode {self.mode!r}")
+        if self.scheduler not in ("round_robin", "hint"):
+            raise ConfigError(f"unknown scheduler {self.scheduler!r}")
+        if self.cpu_ghz <= 0:
+            raise ConfigError("cpu_ghz must be positive")
+        if self.forwarding_trigger < 1 or self.splitting_trigger < 1:
+            raise ConfigError("optimization triggers must be >= 1")
+        for nid, cores in (self.node_cores or {}).items():
+            if cores < 1:
+                raise ConfigError(f"node {nid}: cores must be >= 1")
+        for nid, ghz in (self.node_ghz or {}).items():
+            if ghz <= 0:
+                raise ConfigError(f"node {nid}: clock must be positive")
+
+    # -- helpers ----------------------------------------------------------------
+
+    def cycles_to_ns(self, cycles: float) -> int:
+        return int(round(cycles / self.cpu_ghz))
+
+    def cores_of(self, node_id: int) -> int:
+        if self.node_cores and node_id in self.node_cores:
+            return self.node_cores[node_id]
+        return self.cores_per_node
+
+    def ghz_of(self, node_id: int) -> float:
+        if self.node_ghz and node_id in self.node_ghz:
+            return self.node_ghz[node_id]
+        return self.cpu_ghz
+
+    @property
+    def effective_cpi_dbt(self) -> float:
+        return self.cpi_dbt * self.qemu_cpi_discount if self.pure_qemu else self.cpi_dbt
+
+    def with_options(self, **kwargs) -> "DQEMUConfig":
+        """Return a modified copy (configs are frozen)."""
+        return replace(self, **kwargs)
+
+    def time_scaled(self, k: float) -> "DQEMUConfig":
+        """Shrink every *communication* cost by ``k`` (and raise bandwidth by
+        ``k``), for experiments whose compute is scaled down by the same
+        factor.  Preserving the compute:communication ratio preserves the
+        paper's speedup-curve shapes at a fraction of the simulation cost
+        (see EXPERIMENTS.md, "scaling methodology").  CPU-side trap costs are
+        untouched: they scale with guest work, not with the network.
+        """
+        if k <= 0:
+            raise ConfigError("scale factor must be positive")
+        return replace(
+            self,
+            bandwidth_bps=self.bandwidth_bps * k,
+            one_way_latency_ns=max(1, int(self.one_way_latency_ns / k)),
+            loopback_latency_ns=max(1, int(self.loopback_latency_ns / k)),
+            dsm_service_ns=max(1, int(self.dsm_service_ns / k)),
+            dsm_fast_service_ns=max(1, int(self.dsm_fast_service_ns / k)),
+            slave_coherence_service_ns=max(1, int(self.slave_coherence_service_ns / k)),
+            syscall_service_ns=max(1, int(self.syscall_service_ns / k)),
+            forwarding_push_ns=max(1, int(self.forwarding_push_ns / k)),
+            split_service_ns=max(1, int(self.split_service_ns / k)),
+            merge_service_ns=max(1, int(self.merge_service_ns / k)),
+        )

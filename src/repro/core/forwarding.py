@@ -1,0 +1,97 @@
+"""Data forwarding / read-ahead stream detection (paper §5.2).
+
+The master keeps a page-request history per node.  Since several guest
+threads on one node stream *different* regions concurrently (e.g. each
+blackscholes worker reads its own option slice), the engine tracks multiple
+active streams per node, like the Linux VFS readahead the paper cites keeps
+per-file readahead state.  A request that extends a known stream advances
+it; when a stream reaches ``trigger`` consecutive pages (4 in §6.1.1), the
+master pushes pages ahead of it in Shared state, doubling the window up to
+``max_window``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReadAheadEngine", "StreamState"]
+
+
+@dataclass
+class StreamState:
+    last_page: int = -2
+    run_length: int = 0
+    window: int = 0
+    pushed_until: int = -1  # highest page already pushed for this stream
+    last_used: int = 0  # LRU tick
+
+
+class ReadAheadEngine:
+    def __init__(
+        self,
+        *,
+        trigger: int = 4,
+        initial_window: int = 8,
+        max_window: int = 256,
+        max_streams_per_node: int = 16,
+    ):
+        self.trigger = trigger
+        self.initial_window = initial_window
+        self.max_window = max_window
+        self.max_streams = max_streams_per_node
+        self._streams: dict[int, list[StreamState]] = {}
+        self._tick = 0
+        self.pushes_issued = 0
+        self.streams_detected = 0
+
+    def _match(self, streams: list[StreamState], page: int) -> StreamState | None:
+        for st in streams:
+            if page == st.last_page:
+                return st  # repeat (e.g. upgrade): neutral
+            if page == st.last_page + 1:
+                return st
+            if st.window > 0 and st.last_page < page <= st.pushed_until + 1:
+                # stream already being forwarded: pushed pages are consumed
+                # locally, so the next miss lands just past the pushed range
+                return st
+        return None
+
+    def record(self, node: int, page: int) -> list[int]:
+        """Record a (read) page request; returns pages to push to ``node``."""
+        self._tick += 1
+        streams = self._streams.setdefault(node, [])
+        st = self._match(streams, page)
+        if st is None:
+            st = StreamState(last_page=page, run_length=1)
+            streams.append(st)
+            if len(streams) > self.max_streams:
+                streams.sort(key=lambda s: s.last_used)
+                streams.pop(0)
+            st.last_used = self._tick
+            return []
+        st.last_used = self._tick
+        if page == st.last_page:
+            return []
+        st.run_length += 1
+        st.last_page = page
+
+        if st.run_length < self.trigger:
+            return []
+        if st.window == 0:
+            st.window = self.initial_window
+            st.pushed_until = page
+            self.streams_detected += 1
+        else:
+            st.window = min(st.window * 2, self.max_window)
+
+        start = max(st.pushed_until, page) + 1
+        end = page + st.window
+        if start > end:
+            return []
+        pushes = list(range(start, end + 1))
+        st.pushed_until = end
+        self.pushes_issued += len(pushes)
+        return pushes
+
+    def streams_of(self, node: int) -> list[StreamState]:
+        return self._streams.setdefault(node, [])

@@ -1,0 +1,35 @@
+"""Remote thread creation (paper §4.1).
+
+``clone()`` is trapped; the parent's CPU context plus the syscall parameters
+travel to the master, which picks a node and ships a cloned context there.
+The child "holds an identical execution environment as if a thread is
+created locally": same registers and pc (just past the ecall), a0 = 0 (the
+Linux clone convention for the child), and the new stack pointer.  The data
+the child touches follows later through the coherence protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.registers import SP
+from repro.kernel.syscalls import CloneRequest
+
+__all__ = ["build_child_context"]
+
+A0 = 10
+
+
+def build_child_context(parent_snapshot: dict, clone: CloneRequest, child_tid: int,
+                        hint_group: Optional[int]) -> dict:
+    """Construct the child's CPU snapshot from the parent's at the ecall."""
+    regs = list(parent_snapshot["regs"])
+    regs[A0] = 0  # clone returns 0 in the child
+    if clone.child_stack:
+        regs[SP] = clone.child_stack
+    return {
+        "regs": regs,
+        "pc": parent_snapshot["pc"],  # already points past the ecall
+        "tid": child_tid,
+        "hint_group": hint_group,
+    }

@@ -1,0 +1,448 @@
+"""A DQEMU instance: one node of the cluster (paper Fig. 2).
+
+Each node runs:
+
+* ``cores_per_node`` *core* processes executing guest (TCG-)threads in
+  quanta through the DBT engine;
+* one *communicator* process servicing coherence commands, futex wakeups,
+  remote thread spawns and the split-table broadcasts from the master;
+* per-fault/per-syscall handler processes, so a thread waiting on a remote
+  page or a delegated syscall frees its core for other runnable threads
+  (the host OS would deschedule the blocked TCG thread the same way).
+
+The same class is every node: the master is node 0 with a
+:class:`~repro.core.master.MasterRuntime` attached, talking to itself over
+the fabric's loopback path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.config import DQEMUConfig
+from repro.core.dsmmem import DSMMemory, LocalMemory, MergeStall
+from repro.core.gthread import GuestThread, GuestThreadState
+from repro.core.llsc import LLSCTable
+from repro.core.stats import RunStats
+from repro.dbt.cpu import CPUState
+from repro.dbt.engine import EngineTiming, ExecutionEngine
+from repro.dbt.stop import StopKind
+from repro.errors import GuestFault, ProtocolError
+from repro.kernel.classify import is_global
+from repro.kernel.sysnums import SYS
+from repro.mem.api import M64, PageStall
+from repro.mem.msi import MSIState
+from repro.mem.pagestore import PageStore
+from repro.mem.splitmap import SplitEntry, SplitMap
+from repro.net.endpoint import Endpoint
+from repro.net.fabric import Fabric
+from repro.net.messages import (
+    Ack,
+    InvalidateAck,
+    MergeRequest,
+    PageRequest,
+    SpawnAck,
+    SyscallRequest,
+)
+from repro.sim.engine import Simulator
+from repro.sim.sync import SimQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.localkernel import LocalKernel
+
+__all__ = ["NodeRuntime", "COMMAND_KINDS"]
+
+A0, A7 = 10, 17
+
+#: Inbound kinds handled by a node's communicator (vs. master managers).
+COMMAND_KINDS = frozenset(
+    {
+        "invalidate",
+        "write_back",
+        "page_push",
+        "split_table_update",
+        "futex_wake",
+        "spawn_thread",
+        "shutdown",
+    }
+)
+
+
+class NodeRuntime:
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        node_id: int,
+        config: DQEMUConfig,
+        run_stats: RunStats,
+        *,
+        master_id: int = 0,
+        on_failure: Optional[Callable[[BaseException], None]] = None,
+        tracer=None,
+    ) -> None:
+        from repro.core.trace import NULL_TRACER
+
+        self.sim = sim
+        self.node_id = node_id
+        self.config = config
+        self.master_id = master_id
+        self.run_stats = run_stats
+        self.trace = tracer if tracer is not None else NULL_TRACER
+        self.on_failure = on_failure or (lambda exc: (_ for _ in ()).throw(exc))
+
+        self.endpoint = Endpoint(sim, fabric, node_id)
+        self.endpoint.set_router(
+            lambda msg: "comm" if msg.kind in COMMAND_KINDS else ("mgr", msg.src)
+        )
+        self.pagestore = PageStore()
+        self.splitmap = SplitMap()
+        self.llsc = LLSCTable()
+        if config.pure_qemu:
+            self.memory = LocalMemory(self.pagestore, self.llsc)
+        else:
+            self.memory = DSMMemory(self.pagestore, self.splitmap, self.llsc)
+        self.engine = ExecutionEngine(
+            self.memory,
+            timing=EngineTiming(
+                cpi_dbt=config.effective_cpi_dbt,
+                cpi_interp=config.cpi_interp,
+                translate_per_insn=config.translate_per_insn,
+            ),
+            mode=config.mode,
+            max_block_insns=config.max_block_insns,
+        )
+        self.n_cores = config.cores_of(node_id)
+        self.ghz = config.ghz_of(node_id)
+        self.runqueue: SimQueue = SimQueue(sim)
+        self.threads: dict[int, GuestThread] = {}
+        self._inflight: dict[int, tuple] = {}  # page -> (event, write)
+        #: page -> event fired when a forwarded page (§5.2) is installed;
+        #: lets an outstanding read fault complete as soon as the push lands.
+        self._push_gates: dict[int, object] = {}
+        self.shutdown = False
+        #: Set for the pure-QEMU baseline: syscalls short-circuit locally.
+        self.local_kernel: Optional["LocalKernel"] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.spawn(self._guarded(self._communicator()), name=f"comm@{self.node_id}")
+        for k in range(self.n_cores):
+            self.sim.spawn(self._guarded(self._core(k)), name=f"core{k}@{self.node_id}")
+
+    def _guarded(self, gen):
+        """Wrap a node process so crashes surface as run failures."""
+
+        def runner():
+            try:
+                yield from gen
+            except BaseException as exc:  # noqa: BLE001 - report and stop
+                self.on_failure(exc)
+
+        return runner()
+
+    # -- thread management ------------------------------------------------------
+
+    def add_thread(self, cpu: CPUState) -> GuestThread:
+        ts = self.run_stats.thread(cpu.tid)
+        ts.node = self.node_id
+        if ts.quanta == 0:  # fresh thread (not a live migration)
+            ts.created_ns = self.sim.now
+        th = GuestThread(cpu, ts)
+        self.threads[cpu.tid] = th
+        self.trace.emit("thread", self.node_id, "start", tid=cpu.tid)
+        self._requeue(th)
+        return th
+
+    def _cycles_to_ns(self, cycles: float) -> int:
+        return int(round(cycles / self.ghz))
+
+    def _requeue(self, th: GuestThread) -> None:
+        th.state = GuestThreadState.READY
+        th.enqueued_at = self.sim.now
+        self.runqueue.put(th)
+
+    def _wake_thread(self, tid: int, retval: int) -> None:
+        th = self.threads.get(tid)
+        if th is None or th.state is not GuestThreadState.BLOCKED:
+            raise ProtocolError(f"node {self.node_id}: futex wake for non-blocked tid {tid}")
+        if th.blocked_at is not None:
+            th.stats.blocked_ns += self.sim.now - th.blocked_at
+            th.blocked_at = None
+        th.cpu.regs[A0] = retval & M64
+        self.trace.emit("thread", self.node_id, "wake", tid=tid)
+        self._requeue(th)
+
+    # -- core scheduling ------------------------------------------------------
+
+    def _core(self, core_id: int):
+        while True:
+            th = yield self.runqueue.get()
+            if th is None:  # shutdown sentinel
+                return
+            if th.state is not GuestThreadState.READY:
+                continue
+            th.stats.runnable_wait_ns += self.sim.now - th.enqueued_at
+            th.state = GuestThreadState.RUNNING
+            yield from self._run_turn(th)
+
+    def _run_turn(self, th: GuestThread):
+        cfg = self.config
+        cpu = th.cpu
+        while not self.shutdown:
+            stop = self.engine.run_quantum(cpu, cfg.quantum_cycles)
+            ns = self._cycles_to_ns(stop.cycles)
+            if ns:
+                yield self.sim.timeout(ns)
+            th.stats.execute_ns += ns
+            th.stats.quanta += 1
+            kind = stop.kind
+            if kind is StopKind.QUANTUM:
+                if len(self.runqueue):
+                    self._requeue(th)  # other threads are waiting: yield the core
+                    return
+                continue
+            if kind is StopKind.PAGE_STALL:
+                self.sim.spawn(
+                    self._guarded(self._fault_handler(th, stop.info)),
+                    name=f"fault@{self.node_id}",
+                )
+                return
+            if kind is StopKind.SYSCALL:
+                self.sim.spawn(
+                    self._guarded(self._syscall_handler(th)),
+                    name=f"sys@{self.node_id}",
+                )
+                return
+            if kind is StopKind.BREAK:
+                raise GuestFault(f"ebreak at pc={cpu.pc - 4:#x}", pc=cpu.pc - 4)
+            raise stop.info  # StopKind.FAULT
+
+    # -- page faults ------------------------------------------------------------
+
+    def _fault_handler(self, th: GuestThread, stall: PageStall):
+        cfg = self.config
+        t0 = self.sim.now
+        yield self.sim.timeout(self._cycles_to_ns(cfg.page_fault_trap_cycles))
+        if isinstance(stall, MergeStall):
+            yield from self._request_merge(stall.orig_page)
+        else:
+            yield from self.acquire_page(stall.page, stall.write, stall.offset, stall.size)
+        th.stats.pagefault_ns += self.sim.now - t0
+        th.stats.page_faults += 1
+        self._requeue(th)
+
+    def acquire_page(self, page: int, write: bool, offset: int = 0, size: int = 8):
+        """Bring ``page`` in at (at least) the needed state, deduplicating
+        concurrent requests from threads on this node."""
+        store = self.pagestore
+        while True:
+            if store.has_write(page) or (not write and store.has_read(page)):
+                return
+            inflight = self._inflight.get(page)
+            if inflight is not None:
+                ev, in_write = inflight
+                yield ev
+                continue  # re-check: the finished request may not suffice
+            ev = self.sim.event()
+            self._inflight[page] = (ev, write)
+            try:
+                req = self.endpoint.request(
+                    self.master_id,
+                    PageRequest(page=page, write=write, offset=offset, size=size),
+                )
+                if write:
+                    reply = yield req
+                else:
+                    # A forwarded page may land while the demand request is in
+                    # flight; whichever arrives first completes the fault.
+                    gate = self._push_gates.get(page)
+                    if gate is None:
+                        gate = self._push_gates[page] = self.sim.event()
+                    which, value = yield self.sim.any_of([req, gate])
+                    reply = value if which == 0 else None
+            finally:
+                del self._inflight[page]
+                self._push_gates.pop(page, None)
+                ev.succeed()
+            if reply is None or reply.ack_only:
+                # A push installed the page (or will momentarily); if it was
+                # somehow dropped meanwhile, the access simply faults again.
+                return
+            if reply.retry:
+                # Page was split/merged concurrently: the access re-translates
+                # against the updated table and faults again if needed.
+                return
+            store.install(page, reply.data, MSIState.MODIFIED if reply.write else MSIState.SHARED)
+            return
+
+    def _request_merge(self, orig_page: int):
+        yield self.endpoint.request(self.master_id, MergeRequest(page=orig_page))
+
+    # -- syscalls ----------------------------------------------------------------
+
+    def _syscall_handler(self, th: GuestThread):
+        cfg = self.config
+        cpu = th.cpu
+        t0 = self.sim.now
+        yield self.sim.timeout(self._cycles_to_ns(cfg.syscall_trap_cycles))
+        sysno = cpu.regs[A7]
+        args = tuple(cpu.regs[A0: A0 + 6])
+        th.stats.syscalls += 1
+
+        if not is_global(sysno):
+            yield from self._local_syscall(th, sysno, args)
+            th.stats.syscall_ns += self.sim.now - t0
+            self.run_stats.protocol.local_syscalls += 1
+            self._requeue(th)
+            return
+
+        if self.local_kernel is not None:
+            yield from self.local_kernel.handle(self, th, sysno, args)
+            th.stats.syscall_ns += self.sim.now - t0
+            return
+
+        self.run_stats.protocol.delegated_syscalls += 1
+        reply = yield self.endpoint.request(
+            self.master_id,
+            SyscallRequest(tid=cpu.tid, sysno=sysno, args=args, context=cpu.snapshot()),
+        )
+        th.stats.syscall_ns += self.sim.now - t0
+        if reply.exited:
+            th.state = GuestThreadState.EXITED
+            th.stats.finished_ns = self.sim.now
+            cpu.halted = True
+            self.threads.pop(cpu.tid, None)
+            self.trace.emit("thread", self.node_id, "exit", tid=cpu.tid)
+            return
+        if reply.parked:
+            th.state = GuestThreadState.BLOCKED
+            th.blocked_at = self.sim.now
+            self.trace.emit("thread", self.node_id, "park", tid=cpu.tid)
+            return
+        if reply.migrated:
+            # The thread now runs on another node (live migration); just
+            # forget the local incarnation — no exit bookkeeping.
+            th.state = GuestThreadState.EXITED
+            cpu.halted = True
+            self.threads.pop(cpu.tid, None)
+            self.trace.emit("thread", self.node_id, "migrated away", tid=cpu.tid)
+            return
+        cpu.regs[A0] = reply.retval & M64
+        self._requeue(th)
+
+    def _local_syscall(self, th: GuestThread, sysno: int, args: tuple[int, ...]):
+        """Paper §4.3: local syscalls are served without a master round trip."""
+        cpu = th.cpu
+        now = self.sim.now
+        if sysno == SYS.NANOSLEEP:
+            sec = yield from self._load_guest_local(args[0], 8)
+            nsec = yield from self._load_guest_local(args[0] + 8, 8)
+            yield self.sim.timeout(sec * 1_000_000_000 + nsec)
+            cpu.regs[A0] = 0
+        elif sysno == SYS.GETTID:
+            cpu.regs[A0] = cpu.tid
+        elif sysno == SYS.GETPID:
+            cpu.regs[A0] = 1
+        elif sysno in (SYS.SCHED_YIELD, SYS.MPROTECT, SYS.MADVISE):
+            cpu.regs[A0] = 0
+        elif sysno == SYS.CLOCK_GETTIME:
+            data = (now // 1_000_000_000).to_bytes(8, "little") + (
+                now % 1_000_000_000
+            ).to_bytes(8, "little")
+            yield from self._store_guest_local(args[1], data)
+            cpu.regs[A0] = 0
+        elif sysno == SYS.GETTIMEOFDAY:
+            data = (now // 1_000_000_000).to_bytes(8, "little") + (
+                (now % 1_000_000_000) // 1000
+            ).to_bytes(8, "little")
+            yield from self._store_guest_local(args[0], data)
+            cpu.regs[A0] = 0
+        else:  # pragma: no cover - classify() keeps this unreachable
+            raise ProtocolError(f"syscall {sysno} not handled locally")
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _load_guest_local(self, addr: int, size: int):
+        """Guest-memory read through the node's memory (acquiring pages)."""
+        while True:
+            try:
+                return self.memory.load(addr, size, False)
+            except PageStall as stall:
+                yield from self.acquire_page(stall.page, stall.write, stall.offset)
+
+    def _store_guest_local(self, addr: int, data: bytes):
+        """8-byte-chunk store through the node's memory (acquiring pages)."""
+        for k in range(0, len(data), 8):
+            chunk = data[k : k + 8]
+            value = int.from_bytes(chunk, "little")
+            while True:
+                try:
+                    self.memory.store(addr + k, len(chunk), value)
+                    break
+                except PageStall as stall:
+                    yield from self.acquire_page(stall.page, stall.write, stall.offset)
+
+    # -- communicator ------------------------------------------------------------
+
+    def _communicator(self):
+        q = self.endpoint.subscribe("comm")
+        cfg = self.config
+        while True:
+            msg = yield q.get()
+            yield self.sim.timeout(cfg.slave_coherence_service_ns)
+            kind = msg.kind
+            if kind == "invalidate":
+                data = None
+                if msg.page in self.pagestore:
+                    if self.pagestore.state(msg.page) is MSIState.MODIFIED:
+                        data = self.pagestore.snapshot(msg.page)
+                    self.pagestore.drop(msg.page)
+                self.llsc.kill_page(msg.page)
+                self.engine.cache.invalidate_page(msg.page)
+                self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
+            elif kind == "write_back":
+                data = self.pagestore.snapshot(msg.page)
+                self.pagestore.set_state(msg.page, MSIState.SHARED)
+                self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
+            elif kind == "page_push":
+                if self.pagestore.state(msg.page) is MSIState.INVALID:
+                    self.pagestore.install(msg.page, msg.data, MSIState.SHARED)
+                    gate = self._push_gates.pop(msg.page, None)
+                    if gate is not None and not gate.triggered:
+                        gate.succeed()
+            elif kind == "split_table_update":
+                self._apply_split_table(msg.entries)
+                self.endpoint.reply(msg, Ack())
+            elif kind == "futex_wake":
+                self._wake_thread(msg.tid, msg.retval)
+            elif kind == "spawn_thread":
+                cpu = CPUState.from_snapshot(msg.context)
+                self.add_thread(cpu)
+                self.endpoint.reply(msg, SpawnAck(tid=msg.tid))
+            elif kind == "shutdown":
+                self.shutdown = True
+                for _ in range(self.n_cores):
+                    self.runqueue.put(None)
+                self.endpoint.reply(msg, Ack())
+                return
+            else:  # pragma: no cover - routing table keeps this unreachable
+                raise ProtocolError(f"node {self.node_id}: unexpected {kind}")
+
+    def _apply_split_table(self, entries: tuple[SplitEntry, ...]) -> None:
+        """Install the master's full split table, dropping stale copies."""
+        new = {e.orig_page: e for e in entries}
+        old = {e.orig_page: e for e in self.splitmap.entries()}
+        for orig, entry in old.items():
+            if orig not in new:
+                # merged back: local shadow copies are stale
+                self.splitmap.remove(orig)
+                for shadow in entry.shadow_pages:
+                    self.pagestore.drop(shadow)
+                    self.llsc.kill_page(shadow)
+        for orig, entry in new.items():
+            if orig not in old:
+                self.splitmap.install(entry)
+                self.pagestore.drop(orig)
+                self.llsc.kill_page(orig)

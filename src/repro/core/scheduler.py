@@ -1,0 +1,49 @@
+"""Thread placement across nodes (paper §4.1, §5.3).
+
+Two policies:
+
+* ``round_robin`` — spread new threads equally over the candidate nodes
+  (the paper's default "schedule the threads equally among the nodes");
+* ``hint`` — threads whose parent announced a group via the ``hint``
+  instruction land on the group's node, so threads that share data share a
+  node (hint-based locality-aware scheduling).  Threads without a hint fall
+  back to round-robin.
+
+Worker threads go to slave nodes; the master runs the main thread (Fig. 2),
+unless ``schedule_on_master`` or there are no slaves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["ThreadPlacer"]
+
+
+class ThreadPlacer:
+    def __init__(self, policy: str, candidates: Sequence[int]):
+        if not candidates:
+            raise ConfigError("scheduler needs at least one candidate node")
+        if policy not in ("round_robin", "hint"):
+            raise ConfigError(f"unknown scheduling policy {policy!r}")
+        self.policy = policy
+        self.candidates = list(candidates)
+        self._rr = 0
+        self.placements: list[tuple[Optional[int], int]] = []  # (group, node)
+
+    def place(self, hint_group: Optional[int] = None) -> int:
+        if self.policy == "hint" and hint_group is not None:
+            node = self.candidates[hint_group % len(self.candidates)]
+        else:
+            node = self.candidates[self._rr % len(self.candidates)]
+            self._rr += 1
+        self.placements.append((hint_group, node))
+        return node
+
+    def distribution(self) -> dict[int, int]:
+        out: dict[int, int] = {n: 0 for n in self.candidates}
+        for _, node in self.placements:
+            out[node] += 1
+        return out

@@ -1,0 +1,100 @@
+"""False-sharing detection for page splitting (paper §5.1).
+
+"False data sharing can be detected if a page is written by multiple threads
+to different parts of the page" — the master records the (node, offset) of
+write page-requests; once a page has ping-ponged between distinct nodes at
+distinct offsets ``trigger`` times (10 in §6.1.1), the detector tries to
+infer a region geometry that puts each node's working range in its own
+region without any recorded access straddling a boundary.  If no geometry
+fits, the history is reset (splitting such a page would only add merges).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.mem.layout import PAGE_SIZE
+
+__all__ = ["FalseSharingDetector", "SplitDecision"]
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    page: int
+    regions: int
+    region_bytes: int
+
+
+@dataclass
+class _PageHistory:
+    accesses: Deque[tuple[int, int, int]] = field(default_factory=deque)  # (node, off, size)
+    conflicts: int = 0
+    last_node: int = -1
+    last_off: int = -1
+
+
+class FalseSharingDetector:
+    def __init__(self, *, trigger: int = 10, history: int = 64, max_regions: int = 32):
+        self.trigger = trigger
+        self.history = history
+        self.max_regions = max_regions
+        self._pages: dict[int, _PageHistory] = {}
+        self.decisions = 0
+        self.rejected = 0
+
+    def record(self, page: int, node: int, offset: int, size: int = 8
+               ) -> Optional[SplitDecision]:
+        """Record a write page-request; returns a decision when a split fires."""
+        h = self._pages.setdefault(page, _PageHistory())
+        h.accesses.append((node, offset, size))
+        while len(h.accesses) > self.history:
+            h.accesses.popleft()
+        if h.last_node >= 0 and node != h.last_node and offset != h.last_off:
+            h.conflicts += 1
+        h.last_node = node
+        h.last_off = offset
+
+        if h.conflicts < self.trigger:
+            return None
+        geometry = self._infer_regions(h)
+        if geometry is None:
+            # Unsplittable pattern (true sharing): restart the count.
+            self._pages[page] = _PageHistory()
+            self.rejected += 1
+            return None
+        del self._pages[page]
+        self.decisions += 1
+        return SplitDecision(page=page, regions=geometry, region_bytes=PAGE_SIZE // geometry)
+
+    def forget(self, page: int) -> None:
+        self._pages.pop(page, None)
+
+    # -- geometry inference ------------------------------------------------------
+
+    def _infer_regions(self, h: _PageHistory) -> Optional[int]:
+        """Smallest power-of-two region count under which every region is
+        touched by at most one node (regions may be interleaved between
+        nodes, as in the paper's 32x128-byte Table 1 layout) and no recorded
+        access straddles a boundary."""
+        nodes = {node for node, _, _ in h.accesses}
+        if len(nodes) < 2:
+            return None
+        regions = 2
+        while regions <= self.max_regions:
+            rb = PAGE_SIZE // regions
+            # (a) no recorded access may straddle a region boundary
+            if all(off // rb == (off + size - 1) // rb for _, off, size in h.accesses):
+                # (b) each region belongs to a single node
+                owner: dict[int, int] = {}
+                clash = False
+                for node, off, _size in h.accesses:
+                    region = off // rb
+                    if owner.setdefault(region, node) != node:
+                        clash = True
+                        break
+                if not clash and len(set(owner.values())) >= 2:
+                    return regions
+            regions *= 2
+        return None

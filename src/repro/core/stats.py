@@ -1,0 +1,99 @@
+"""Execution statistics.
+
+The paper's Fig. 8 breaks per-thread time into execute / page fault /
+syscall; every guest thread carries a :class:`ThreadStats` filled in by its
+node's core scheduler, and :class:`RunStats` aggregates them with
+protocol-level counters for the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ThreadStats", "ProtocolStats", "RunStats"]
+
+
+@dataclass
+class ThreadStats:
+    tid: int = 0
+    node: int = -1
+    execute_ns: int = 0  # translated/interpreted guest execution
+    translate_ns: int = 0  # included in execute for Fig. 8, tracked separately
+    pagefault_ns: int = 0  # trap + coherence wait
+    syscall_ns: int = 0  # trap + delegation round trip
+    blocked_ns: int = 0  # parked in futex_wait
+    runnable_wait_ns: int = 0  # sitting in the run queue (core contention)
+    created_ns: int = 0
+    finished_ns: Optional[int] = None
+    quanta: int = 0
+    page_faults: int = 0
+    syscalls: int = 0
+
+    @property
+    def busy_ns(self) -> int:
+        return self.execute_ns + self.translate_ns + self.pagefault_ns + self.syscall_ns
+
+    @property
+    def lifetime_ns(self) -> Optional[int]:
+        if self.finished_ns is None:
+            return None
+        return self.finished_ns - self.created_ns
+
+
+@dataclass
+class ProtocolStats:
+    page_requests: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    invalidations: int = 0
+    downgrades: int = 0
+    pages_forwarded: int = 0
+    forward_hits: int = 0  # page already local (S) thanks to a push
+    splits: int = 0
+    merges: int = 0
+    split_retry_replies: int = 0
+    delegated_syscalls: int = 0
+    local_syscalls: int = 0
+    remote_thread_spawns: int = 0
+    thread_migrations: int = 0
+    futex_waits: int = 0
+    futex_wakes: int = 0
+
+
+@dataclass
+class RunStats:
+    threads: dict[int, ThreadStats] = field(default_factory=dict)
+    protocol: ProtocolStats = field(default_factory=ProtocolStats)
+    wall_ns: int = 0  # virtual time from program start to exit
+    insns_executed: int = 0
+    insns_translated: int = 0
+
+    def thread(self, tid: int) -> ThreadStats:
+        if tid not in self.threads:
+            self.threads[tid] = ThreadStats(tid=tid)
+        return self.threads[tid]
+
+    # -- aggregations used by the Fig. 8 harness --------------------------------
+
+    def totals(self) -> dict[str, int]:
+        keys = ("execute_ns", "translate_ns", "pagefault_ns", "syscall_ns", "blocked_ns")
+        out = {k: 0 for k in keys}
+        for ts in self.threads.values():
+            for k in keys:
+                out[k] += getattr(ts, k)
+        return out
+
+    def mean_breakdown(self, tids: Optional[list[int]] = None) -> dict[str, float]:
+        """Average per-thread breakdown (Fig. 8 bars), in ns."""
+        stats = [
+            ts for ts in self.threads.values() if tids is None or ts.tid in tids
+        ]
+        if not stats:
+            return {"execute_ns": 0.0, "pagefault_ns": 0.0, "syscall_ns": 0.0}
+        n = len(stats)
+        return {
+            "execute_ns": sum(t.execute_ns + t.translate_ns for t in stats) / n,
+            "pagefault_ns": sum(t.pagefault_ns for t in stats) / n,
+            "syscall_ns": sum(t.syscall_ns for t in stats) / n,
+        }

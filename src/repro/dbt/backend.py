@@ -1,0 +1,235 @@
+"""DBT backend: compile TCG micro-ops into host code.
+
+The "host" here is the CPython VM: each translation block becomes one
+generated Python function, built as source text and compiled with
+``compile()`` — the same generate-once/execute-many structure as a JIT
+emitting machine code, with the translation cost paid once per block.
+
+Precise guest state: guest registers are committed as each guest instruction
+completes, and before any instruction that can fault the generated code
+records its pc and the count of completed instructions (``cpu.block_ic``).
+A :class:`~repro.mem.api.PageStall` raised by the memory system therefore
+propagates with the CPU stopped exactly at the faulting instruction, which
+DQEMU's coherence machinery requires (§4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dbt import fpu
+from repro.dbt import runtime as rt
+from repro.dbt.frontend import BlockIR
+from repro.dbt.tcg import InstrIR, TCGOp
+
+__all__ = ["TranslationBlock", "Backend"]
+
+M64 = rt.M64
+
+#: Globals visible to generated code.
+_CODEGEN_GLOBALS = {
+    "M": M64,
+    "s64": rt.s64,
+    "sdiv64": rt.sdiv64,
+    "udiv64": rt.udiv64,
+    "srem64": rt.srem64,
+    "urem64": rt.urem64,
+    "mulh64": rt.mulh64,
+    "mulhu64": rt.mulhu64,
+    "b2f": fpu.b2f,
+    "f2b": fpu.f2b,
+    "fdiv_h": fpu.fdiv,
+    "fsqrt_h": fpu.fsqrt,
+    "fmin_h": fpu.fmin,
+    "fmax_h": fpu.fmax,
+    "fcvt_l_d": fpu.fcvt_l_d,
+    "fcvt_d_l": fpu.fcvt_d_l,
+}
+
+_COND_EXPR = {
+    "eq": "{a} == {b}",
+    "ne": "{a} != {b}",
+    "lt": "s64({a}) < s64({b})",
+    "ge": "s64({a}) >= s64({b})",
+    "ltu": "{a} < {b}",
+    "geu": "{a} >= {b}",
+}
+
+_FBIN_EXPR = {
+    "fadd": "f2b(b2f({a}) + b2f({b}))",
+    "fsub": "f2b(b2f({a}) - b2f({b}))",
+    "fmul": "f2b(b2f({a}) * b2f({b}))",
+    "fdiv": "f2b(fdiv_h(b2f({a}), b2f({b})))",
+    "fmin": "f2b(fmin_h(b2f({a}), b2f({b})))",
+    "fmax": "f2b(fmax_h(b2f({a}), b2f({b})))",
+}
+
+_FSET_EXPR = {
+    "feq": "1 if b2f({a}) == b2f({b}) else 0",
+    "flt": "1 if b2f({a}) < b2f({b}) else 0",
+    "fle": "1 if b2f({a}) <= b2f({b}) else 0",
+}
+
+_BIN_EXPR = {
+    "add": "({a} + {b}) & M",
+    "sub": "({a} - {b}) & M",
+    "and": "{a} & {b}",
+    "or": "{a} | {b}",
+    "xor": "{a} ^ {b}",
+    "shl": "({a} << ({b} & 63)) & M",
+    "shr": "{a} >> ({b} & 63)",
+    "sar": "(s64({a}) >> ({b} & 63)) & M",
+    "mul": "({a} * {b}) & M",
+    "mulh": "mulh64({a}, {b})",
+    "mulhu": "mulhu64({a}, {b})",
+    "div": "sdiv64({a}, {b})",
+    "divu": "udiv64({a}, {b})",
+    "rem": "srem64({a}, {b})",
+    "remu": "urem64({a}, {b})",
+}
+
+
+@dataclass
+class TranslationBlock:
+    """A compiled block: guest extent, host function, and the source kept for
+    diagnostics (``/proc``-style introspection and tests)."""
+
+    pc: int
+    n_insns: int
+    end_pc: int  # first byte past the last guest instruction
+    fn: Callable
+    source: str
+    exec_count: int = 0
+
+
+class Backend:
+    """TCG-to-Python compiler."""
+
+    _ids = itertools.count()
+
+    def compile(self, block: BlockIR) -> TranslationBlock:
+        lines = self._emit(block)
+        name = f"tb_{block.pc:x}_{next(self._ids)}"
+        src = f"def {name}(cpu, mem):\n" + "\n".join("    " + ln for ln in lines) + "\n"
+        ns: dict = {}
+        exec(compile(src, f"<tb@{block.pc:#x}>", "exec"), dict(_CODEGEN_GLOBALS), ns)
+        return TranslationBlock(
+            pc=block.pc,
+            n_insns=len(block.instrs),
+            end_pc=block.next_pc,
+            fn=ns[name],
+            source=src,
+        )
+
+    # -- emission -------------------------------------------------------------
+
+    def _emit(self, block: BlockIR) -> list[str]:
+        lines = ["R = cpu.regs"]
+        n = len(block.instrs)
+        terminated = False
+        for k, ir in enumerate(block.instrs):
+            lines.append(f"# {ir.pc:#x}: {ir.mnemonic}")
+            if ir.can_fault:
+                # Precise exception point: pc + completed-instruction count.
+                lines.append(f"cpu.pc = {ir.pc}")
+                lines.append(f"cpu.block_ic = {k}")
+            for op in ir.ops:
+                stmt = self._emit_op(op, ir, k, n)
+                lines.extend(stmt)
+                if op.name in ("brcond", "jmp", "jmp_ind", "exit"):
+                    terminated = True
+        if not terminated:
+            lines.append(f"cpu.block_ic = {n}")
+            lines.append(f"cpu.pc = {block.next_pc}")
+            lines.append("return 0")
+        return lines
+
+    def _ref(self, operand) -> str:
+        kind, v = operand
+        if kind == "g":
+            return "0" if v == 0 else f"R[{v}]"
+        if kind == "t":
+            return f"t{v}"
+        return repr(v & M64)
+
+    def _dst(self, operand) -> str:
+        kind, v = operand
+        if kind == "g":
+            return "_" if v == 0 else f"R[{v}]"
+        return f"t{v}"
+
+    def _emit_op(self, op: TCGOp, ir: InstrIR, k: int, n: int) -> list[str]:
+        name = op.name
+        if name in _BIN_EXPR:
+            d, a, b = op.args
+            return [f"{self._dst(d)} = " + _BIN_EXPR[name].format(a=self._ref(a), b=self._ref(b))]
+        if name == "mov":
+            d, s = op.args
+            return [f"{self._dst(d)} = {self._ref(s)}"]
+        if name == "setcond":
+            d, a, b, cond = op.args
+            expr = _COND_EXPR[cond].format(a=self._ref(a), b=self._ref(b))
+            return [f"{self._dst(d)} = 1 if {expr} else 0"]
+        if name == "fbin":
+            d, a, b, f = op.args
+            return [f"{self._dst(d)} = " + _FBIN_EXPR[f].format(a=self._ref(a), b=self._ref(b))]
+        if name == "fun":
+            d, a, f = op.args
+            if f == "fsqrt":
+                return [f"{self._dst(d)} = f2b(fsqrt_h(b2f({self._ref(a)})))"]
+            return [f"{self._dst(d)} = {f}({self._ref(a)})"]
+        if name == "fsetcond":
+            d, a, b, cond = op.args
+            return [f"{self._dst(d)} = " + _FSET_EXPR[cond].format(a=self._ref(a), b=self._ref(b))]
+        if name == "ld":
+            d, addr, size, signed = op.args
+            return [f"{self._dst(d)} = mem.load({self._ref(addr)}, {size}, {signed})"]
+        if name == "st":
+            val, addr, size = op.args
+            return [f"mem.store({self._ref(addr)}, {size}, {self._ref(val)})"]
+        if name == "lr":
+            d, addr = op.args
+            return [f"{self._dst(d)} = mem.load_reserved(cpu, {self._ref(addr)})"]
+        if name == "sc":
+            d, val, addr = op.args
+            return [
+                f"{self._dst(d)} = 0 if mem.store_conditional(cpu, {self._ref(addr)}, {self._ref(val)}) else 1"
+            ]
+        if name == "cas":
+            d, exp, val, addr = op.args
+            return [
+                f"{self._dst(d)} = mem.atomic_cas(cpu, {self._ref(addr)}, {self._ref(exp)}, {self._ref(val)})"
+            ]
+        if name in ("amoadd", "amoswap"):
+            d, val, addr = op.args
+            fn = "atomic_add" if name == "amoadd" else "atomic_swap"
+            return [f"{self._dst(d)} = mem.{fn}(cpu, {self._ref(addr)}, {self._ref(val)})"]
+        if name == "hint":
+            (value,) = op.args
+            return [f"cpu.hint_group = {value}"]
+        if name == "hint_reg":
+            (src,) = op.args
+            return [f"cpu.hint_group = {self._ref(src)}"]
+        if name == "fence":
+            return ["pass  # fence: sequential across nodes by construction"]
+        if name == "brcond":
+            a, b, cond, tgt, fall = op.args
+            expr = _COND_EXPR[cond].format(a=self._ref(a), b=self._ref(b))
+            return [
+                f"cpu.block_ic = {n}",
+                f"cpu.pc = {tgt} if {expr} else {fall}",
+                "return 0",
+            ]
+        if name == "jmp":
+            (tgt,) = op.args
+            return [f"cpu.block_ic = {n}", f"cpu.pc = {tgt}", "return 0"]
+        if name == "jmp_ind":
+            (addr,) = op.args
+            return [f"cpu.block_ic = {n}", f"cpu.pc = {self._ref(addr)}", "return 0"]
+        if name == "exit":
+            (rc,) = op.args
+            next_pc = ir.pc + 4
+            return [f"cpu.block_ic = {k + 1}", f"cpu.pc = {next_pc}", f"return {rc}"]
+        raise NotImplementedError(f"backend cannot emit {name}")  # pragma: no cover

@@ -1,0 +1,73 @@
+"""Translation-block cache with block chaining and page-wise invalidation.
+
+QEMU keeps translated code in a code cache keyed by guest pc and chains
+blocks whose successor is static so the dispatch loop is skipped.  We keep
+the same structure: ``lookup`` is the slow path, each block records a
+direct reference to its statically-known successor once resolved, and
+invalidation drops every block overlapping a guest page (needed if guest
+code pages are ever written, and used by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dbt.backend import TranslationBlock
+from repro.mem.layout import PAGE_SIZE
+
+__all__ = ["CodeCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    translations: int = 0
+    lookups: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.misses / self.lookups if self.lookups else 0.0
+
+
+class CodeCache:
+    """pc → :class:`TranslationBlock` map with page index."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[int, TranslationBlock] = {}
+        self._by_page: dict[int, set[int]] = {}
+        self.stats = CacheStats()
+
+    def lookup(self, pc: int) -> Optional[TranslationBlock]:
+        self.stats.lookups += 1
+        tb = self._blocks.get(pc)
+        if tb is None:
+            self.stats.misses += 1
+        return tb
+
+    def insert(self, tb: TranslationBlock) -> None:
+        self._blocks[tb.pc] = tb
+        self.stats.translations += 1
+        for page in range(tb.pc // PAGE_SIZE, (max(tb.end_pc - 1, tb.pc)) // PAGE_SIZE + 1):
+            self._by_page.setdefault(page, set()).add(tb.pc)
+
+    def invalidate_page(self, page: int) -> int:
+        """Drop all blocks overlapping ``page``; returns how many."""
+        pcs = self._by_page.pop(page, set())
+        count = 0
+        for pc in pcs:
+            if self._blocks.pop(pc, None) is not None:
+                count += 1
+        self.stats.invalidations += count
+        return count
+
+    def flush(self) -> None:
+        self._blocks.clear()
+        self._by_page.clear()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._blocks

@@ -1,0 +1,130 @@
+"""Execution engine: the translate/execute mode switch of a DBT thread.
+
+Each guest thread's host thread alternates between *translation mode* and
+*execution mode* (paper §2).  ``run_quantum`` runs one vCPU until its cycle
+budget is spent or an event needs outside help: a syscall, a page the DSM
+must fetch, or a guest fault.  Cycle accounting is virtual: translated code
+is billed ``cpi_dbt`` cycles per guest instruction, interpretation
+``cpi_interp``, and translation ``translate_per_insn`` once per block —
+constants calibrated in :mod:`repro.core.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbt.backend import Backend
+from repro.dbt.codecache import CodeCache
+from repro.dbt.cpu import CPUState
+from repro.dbt.frontend import Frontend
+from repro.dbt.interp import Interpreter
+from repro.dbt.stop import RC_BREAK, RC_SYSCALL, StopEvent, StopKind
+from repro.errors import ConfigError, GuestFault
+from repro.mem.api import MemoryAPI, PageStall
+
+__all__ = ["EngineTiming", "ExecutionEngine"]
+
+
+@dataclass(frozen=True)
+class EngineTiming:
+    """Virtual-cycle costs of the DBT pipeline."""
+
+    cpi_dbt: float = 3.0  # cycles per translated guest instruction
+    cpi_interp: float = 30.0  # cycles per interpreted instruction
+    translate_per_insn: float = 800.0  # one-time per-block translation cost
+
+
+class ExecutionEngine:
+    """Runs vCPUs against a memory system in DBT or interpreter mode."""
+
+    def __init__(
+        self,
+        mem: MemoryAPI,
+        *,
+        timing: EngineTiming | None = None,
+        mode: str = "dbt",
+        max_block_insns: int = 64,
+        cache: CodeCache | None = None,
+    ) -> None:
+        if mode not in ("dbt", "interp"):
+            raise ConfigError(f"unknown engine mode {mode!r}")
+        self.mem = mem
+        self.mode = mode
+        self.timing = timing or EngineTiming()
+        self.cache = cache or CodeCache()
+        self.frontend = Frontend(mem, max_block_insns=max_block_insns)
+        self.backend = Backend()
+        self.interp = Interpreter(mem)
+        # Counters for profiling/experiments.
+        self.insns_executed = 0
+        self.insns_translated = 0
+
+    # -- main entry ----------------------------------------------------------
+
+    def run_quantum(self, cpu: CPUState, cycle_budget: int) -> StopEvent:
+        """Run ``cpu`` for at most ``cycle_budget`` virtual cycles."""
+        if self.mode == "interp":
+            return self._run_interp(cpu, cycle_budget)
+        return self._run_dbt(cpu, cycle_budget)
+
+    # -- DBT mode ----------------------------------------------------------
+
+    def _run_dbt(self, cpu: CPUState, cycle_budget: int) -> StopEvent:
+        t = self.timing
+        cycles = 0.0
+        mem = self.mem
+        cache = self.cache
+        while cycles < cycle_budget:
+            tb = cache.lookup(cpu.pc)
+            if tb is None:
+                try:
+                    block_ir = self.frontend.build_block(cpu.pc)
+                    tb = self.backend.compile(block_ir)
+                except PageStall as stall:
+                    return StopEvent(StopKind.PAGE_STALL, int(cycles), stall)
+                except GuestFault as fault:
+                    return StopEvent(StopKind.FAULT, int(cycles), fault)
+                cache.insert(tb)
+                self.insns_translated += tb.n_insns
+                cycles += tb.n_insns * t.translate_per_insn
+            try:
+                rc = tb.fn(cpu, mem)
+            except PageStall as stall:
+                done = cpu.block_ic
+                cycles += done * t.cpi_dbt
+                self.insns_executed += done
+                return StopEvent(StopKind.PAGE_STALL, int(cycles), stall)
+            except GuestFault as fault:
+                done = cpu.block_ic
+                cycles += done * t.cpi_dbt
+                self.insns_executed += done
+                return StopEvent(StopKind.FAULT, int(cycles), fault)
+            tb.exec_count += 1
+            done = cpu.block_ic
+            cycles += done * t.cpi_dbt
+            self.insns_executed += done
+            if rc == RC_SYSCALL:
+                return StopEvent(StopKind.SYSCALL, int(cycles))
+            if rc == RC_BREAK:
+                return StopEvent(StopKind.BREAK, int(cycles))
+        return StopEvent(StopKind.QUANTUM, int(cycles))
+
+    # -- interpreter mode ------------------------------------------------------
+
+    def _run_interp(self, cpu: CPUState, cycle_budget: int) -> StopEvent:
+        t = self.timing
+        cycles = 0.0
+        while cycles < cycle_budget:
+            try:
+                rc = self.interp.step(cpu)
+            except PageStall as stall:
+                return StopEvent(StopKind.PAGE_STALL, int(cycles), stall)
+            except GuestFault as fault:
+                return StopEvent(StopKind.FAULT, int(cycles), fault)
+            cycles += t.cpi_interp
+            self.insns_executed += 1
+            if rc == RC_SYSCALL:
+                return StopEvent(StopKind.SYSCALL, int(cycles))
+            if rc == RC_BREAK:
+                return StopEvent(StopKind.BREAK, int(cycles))
+        return StopEvent(StopKind.QUANTUM, int(cycles))

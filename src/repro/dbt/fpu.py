@@ -1,0 +1,101 @@
+"""Double-precision helpers for GA64's FP instructions.
+
+GA64 stores IEEE-754 doubles as bit patterns in the integer registers, so
+every FP op is bits → float → op → bits.  Helpers here define the edge-case
+behaviour (division by zero, NaN propagation, conversion saturation) in one
+place for both the interpreter and the translated code.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+__all__ = [
+    "b2f",
+    "f2b",
+    "fdiv",
+    "fsqrt",
+    "fmin",
+    "fmax",
+    "fcvt_l_d",
+    "fcvt_d_l",
+]
+
+M64 = 0xFFFF_FFFF_FFFF_FFFF
+_I64_MAX = (1 << 63) - 1
+_I64_MIN = -(1 << 63)
+
+_pack = struct.Struct("<d").pack
+_unpack = struct.Struct("<d").unpack
+_qpack = struct.Struct("<q").pack
+_qunpack = struct.Struct("<q").unpack
+
+#: Canonical quiet NaN bit pattern (matches RISC-V's canonical NaN).
+CANONICAL_NAN = 0x7FF8_0000_0000_0000
+
+
+def b2f(bits: int) -> float:
+    """Reinterpret 64 register bits as a double."""
+    return _unpack(_qpack(bits - (1 << 64) if bits > _I64_MAX else bits))[0]
+
+
+def f2b(value: float) -> int:
+    """Reinterpret a double as 64 register bits (unsigned)."""
+    return _qunpack(_pack(value))[0] & M64
+
+
+def fdiv(a: float, b: float) -> float:
+    """IEEE division: x/0 is ±inf, 0/0 is NaN (Python raises instead)."""
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+        return math.inf if sign > 0 else -math.inf
+    return a / b
+
+
+def fsqrt(a: float) -> float:
+    if a < 0.0:
+        return math.nan
+    return math.sqrt(a)
+
+
+def fmin(a: float, b: float) -> float:
+    """RISC-V fmin: returns the non-NaN operand if exactly one is NaN."""
+    if math.isnan(a):
+        return b if not math.isnan(b) else math.nan
+    if math.isnan(b):
+        return a
+    # -0.0 < +0.0 for fmin purposes
+    if a == b == 0.0:
+        return -0.0 if math.copysign(1.0, a) < 0 or math.copysign(1.0, b) < 0 else 0.0
+    return a if a < b else b
+
+
+def fmax(a: float, b: float) -> float:
+    if math.isnan(a):
+        return b if not math.isnan(b) else math.nan
+    if math.isnan(b):
+        return a
+    if a == b == 0.0:
+        return 0.0 if math.copysign(1.0, a) > 0 or math.copysign(1.0, b) > 0 else -0.0
+    return a if a > b else b
+
+
+def fcvt_l_d(bits: int) -> int:
+    """Double → int64, truncating toward zero, saturating (NaN → 0)."""
+    x = b2f(bits)
+    if math.isnan(x):
+        return 0
+    if x >= _I64_MAX:
+        return _I64_MAX & M64
+    if x <= _I64_MIN:
+        return _I64_MIN & M64
+    return int(x) & M64
+
+
+def fcvt_d_l(bits: int) -> int:
+    """Int64 (register bits, signed) → double bits."""
+    signed = bits - (1 << 64) if bits > _I64_MAX else bits
+    return f2b(float(signed))

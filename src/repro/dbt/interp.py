@@ -1,0 +1,191 @@
+"""Reference interpreter for GA64.
+
+This is the "translation mode" semantics oracle: it decodes and executes one
+guest instruction at a time.  The DBT backend is differentially tested
+against it, and the engine can run whole threads in interpreter mode
+(``mode="interp"``) to model the pre-translation cost of a DBT.
+"""
+
+from __future__ import annotations
+
+from repro.dbt.cpu import CPUState
+from repro.dbt.fpu import b2f, f2b, fcvt_d_l, fcvt_l_d, fdiv, fmax, fmin, fsqrt
+from repro.dbt.runtime import M64, mulh64, mulhu64, s64, sdiv64, srem64, udiv64, urem64
+from repro.dbt.stop import RC_BREAK, RC_NEXT, RC_SYSCALL
+from repro.errors import InvalidInstruction
+from repro.isa.encoding import INSTR_BYTES, decode
+from repro.isa.instructions import Instruction
+from repro.mem.api import MemoryAPI
+
+__all__ = ["Interpreter"]
+
+
+class Interpreter:
+    """Decode-and-execute stepper over a :class:`MemoryAPI`."""
+
+    def __init__(self, mem: MemoryAPI):
+        self.mem = mem
+
+    def step(self, cpu: CPUState) -> int:
+        """Execute the instruction at ``cpu.pc``; returns an RC_* code."""
+        raw = self.mem.fetch_code(cpu.pc, INSTR_BYTES)
+        word = int.from_bytes(raw, "little")
+        instr = decode(word, pc=cpu.pc)
+        return self.execute(cpu, instr)
+
+    def run(self, cpu: CPUState, max_insns: int = 1_000_000) -> int:
+        """Run until a syscall/break or the instruction budget; returns RC."""
+        for _ in range(max_insns):
+            rc = self.step(cpu)
+            if rc != RC_NEXT:
+                return rc
+        return RC_NEXT
+
+    # -- single-instruction semantics ----------------------------------------
+
+    def execute(self, cpu: CPUState, instr: Instruction) -> int:
+        R = cpu.regs
+        mem = self.mem
+        m = instr.spec.mnemonic
+        rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+        a, b = R[rs1], R[rs2]
+        next_pc = cpu.pc + INSTR_BYTES
+
+        def w(value: int) -> None:
+            if rd != 0:
+                R[rd] = value & M64
+
+        if m == "add":
+            w(a + b)
+        elif m == "sub":
+            w(a - b)
+        elif m == "and":
+            w(a & b)
+        elif m == "or":
+            w(a | b)
+        elif m == "xor":
+            w(a ^ b)
+        elif m == "sll":
+            w(a << (b & 63))
+        elif m == "srl":
+            w(a >> (b & 63))
+        elif m == "sra":
+            w(s64(a) >> (b & 63))
+        elif m == "mul":
+            w(a * b)
+        elif m == "mulh":
+            w(mulh64(a, b))
+        elif m == "mulhu":
+            w(mulhu64(a, b))
+        elif m == "div":
+            w(sdiv64(a, b))
+        elif m == "divu":
+            w(udiv64(a, b))
+        elif m == "rem":
+            w(srem64(a, b))
+        elif m == "remu":
+            w(urem64(a, b))
+        elif m == "slt":
+            w(1 if s64(a) < s64(b) else 0)
+        elif m == "sltu":
+            w(1 if a < b else 0)
+        elif m == "addi":
+            w(a + imm)
+        elif m == "andi":
+            w(a & (imm & M64))
+        elif m == "ori":
+            w(a | (imm & M64))
+        elif m == "xori":
+            w(a ^ (imm & M64))
+        elif m == "slli":
+            w(a << (imm & 63))
+        elif m == "srli":
+            w(a >> (imm & 63))
+        elif m == "srai":
+            w(s64(a) >> (imm & 63))
+        elif m == "slti":
+            w(1 if s64(a) < imm else 0)
+        elif m == "sltiu":
+            w(1 if a < (imm & M64) else 0)
+        elif m in ("lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"):
+            spec = instr.spec
+            w(mem.load((a + imm) & M64, spec.access_bytes, spec.signed))
+        elif m in ("sb", "sh", "sw", "sd"):
+            mem.store((a + imm) & M64, instr.spec.access_bytes, b)
+        elif m == "movz":
+            w(imm << (16 * instr.hw))
+        elif m == "movk":
+            mask = 0xFFFF << (16 * instr.hw)
+            w((R[rd] & ~mask) | (imm << (16 * instr.hw)))
+        elif m == "movn":
+            w(~(imm << (16 * instr.hw)))
+        elif m == "jal":
+            w(next_pc)
+            cpu.pc = (cpu.pc + imm) & M64
+            return RC_NEXT
+        elif m == "jalr":
+            target = (a + imm) & M64 & ~1
+            w(next_pc)
+            cpu.pc = target
+            return RC_NEXT
+        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = {
+                "beq": a == b,
+                "bne": a != b,
+                "blt": s64(a) < s64(b),
+                "bge": s64(a) >= s64(b),
+                "bltu": a < b,
+                "bgeu": a >= b,
+            }[m]
+            cpu.pc = (cpu.pc + imm) & M64 if taken else next_pc
+            return RC_NEXT
+        elif m == "fadd":
+            w(f2b(b2f(a) + b2f(b)))
+        elif m == "fsub":
+            w(f2b(b2f(a) - b2f(b)))
+        elif m == "fmul":
+            w(f2b(b2f(a) * b2f(b)))
+        elif m == "fdiv":
+            w(f2b(fdiv(b2f(a), b2f(b))))
+        elif m == "fmin":
+            w(f2b(fmin(b2f(a), b2f(b))))
+        elif m == "fmax":
+            w(f2b(fmax(b2f(a), b2f(b))))
+        elif m == "fsqrt":
+            w(f2b(fsqrt(b2f(a))))
+        elif m == "fcvt.d.l":
+            w(fcvt_d_l(a))
+        elif m == "fcvt.l.d":
+            w(fcvt_l_d(a))
+        elif m == "feq":
+            w(1 if b2f(a) == b2f(b) else 0)
+        elif m == "flt":
+            w(1 if b2f(a) < b2f(b) else 0)
+        elif m == "fle":
+            w(1 if b2f(a) <= b2f(b) else 0)
+        elif m == "lr":
+            w(mem.load_reserved(cpu, a))
+        elif m == "sc":
+            ok = mem.store_conditional(cpu, a, b)
+            w(0 if ok else 1)
+        elif m == "cas":
+            w(mem.atomic_cas(cpu, a, R[rd], b))
+        elif m == "amoadd":
+            w(mem.atomic_add(cpu, a, b))
+        elif m == "amoswap":
+            w(mem.atomic_swap(cpu, a, b))
+        elif m == "fence":
+            pass  # inter-node ordering is sequential by construction (§3.3)
+        elif m == "hint":
+            cpu.hint_group = a if rs1 != 0 else imm
+        elif m == "ecall":
+            cpu.pc = next_pc
+            return RC_SYSCALL
+        elif m == "ebreak":
+            cpu.pc = next_pc
+            return RC_BREAK
+        else:  # pragma: no cover - spec table and interpreter kept in sync
+            raise InvalidInstruction(f"interpreter cannot execute {m}", pc=cpu.pc)
+
+        cpu.pc = next_pc
+        return RC_NEXT

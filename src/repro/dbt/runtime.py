@@ -1,0 +1,71 @@
+"""Runtime helpers shared by the interpreter and generated host code.
+
+Integer semantics follow RISC-V: 64-bit two's complement, division truncates
+toward zero, division by zero yields all-ones (unsigned) / -1 (signed), and
+``INT64_MIN / -1`` overflows to ``INT64_MIN``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "M64",
+    "s64",
+    "sdiv64",
+    "udiv64",
+    "srem64",
+    "urem64",
+    "mulh64",
+    "mulhu64",
+]
+
+M64 = 0xFFFF_FFFF_FFFF_FFFF
+_I64_MIN = -(1 << 63)
+
+
+def s64(value: int) -> int:
+    """Unsigned 64-bit register value → signed Python int."""
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def sdiv64(a: int, b: int) -> int:
+    sa, sb = s64(a), s64(b)
+    if sb == 0:
+        return M64  # -1
+    if sa == _I64_MIN and sb == -1:
+        return a  # overflow: result is INT64_MIN
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return q & M64
+
+
+def udiv64(a: int, b: int) -> int:
+    if b == 0:
+        return M64
+    return (a // b) & M64
+
+
+def srem64(a: int, b: int) -> int:
+    sa, sb = s64(a), s64(b)
+    if sb == 0:
+        return a
+    if sa == _I64_MIN and sb == -1:
+        return 0
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return r & M64
+
+
+def urem64(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    return (a % b) & M64
+
+
+def mulh64(a: int, b: int) -> int:
+    return ((s64(a) * s64(b)) >> 64) & M64
+
+
+def mulhu64(a: int, b: int) -> int:
+    return ((a * b) >> 64) & M64

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every layer raises a subclass of :class:`ReproError` so callers can catch
+package failures without masking genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. double-trigger)."""
+
+
+class NetworkError(ReproError):
+    """Malformed protocol traffic or unknown destination."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded or decoded."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source was rejected (bad mnemonic, operand, or label)."""
+
+
+class GuestFault(ReproError):
+    """The guest program performed an illegal operation.
+
+    Attributes mirror a hardware fault record so the emulation engine can
+    report precisely where the guest went wrong.
+    """
+
+    def __init__(self, message: str, *, pc: int | None = None, addr: int | None = None):
+        super().__init__(message)
+        self.pc = pc
+        self.addr = addr
+
+
+class InvalidInstruction(GuestFault):
+    """Undefined opcode or malformed instruction word."""
+
+
+class UnalignedAccess(GuestFault):
+    """A memory access violated GA64 alignment rules (page-crossing or atomic)."""
+
+
+class SegmentationFault(GuestFault):
+    """Access to an unmapped guest address."""
+
+
+class KernelError(ReproError):
+    """The emulated kernel layer hit an unsupported request."""
+
+
+class ProtocolError(ReproError):
+    """The DSM coherence protocol reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Invalid DQEMU configuration."""

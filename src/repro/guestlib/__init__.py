@@ -1,0 +1,17 @@
+"""Guest runtime library emitted in GA64 assembly (threads, locks, malloc, IO)."""
+
+from repro.guestlib.runtime import (
+    CLONE_FLAGS,
+    MUTEX_SPINS,
+    THREAD_STACK_BYTES,
+    emit_runtime,
+    runtime_builder,
+)
+
+__all__ = [
+    "CLONE_FLAGS",
+    "MUTEX_SPINS",
+    "THREAD_STACK_BYTES",
+    "emit_runtime",
+    "runtime_builder",
+]

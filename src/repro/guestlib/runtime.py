@@ -1,0 +1,381 @@
+"""Guest runtime library ("libc") emitted in GA64 assembly.
+
+The PARSEC-like workloads are statically linked against this runtime, just
+as the paper's benchmarks statically link pthreads.  It provides:
+
+* ``_start``            — calls ``main``, then ``exit_group(main())``;
+* ``rt_thread_create``  — pthread_create: mmap a stack, ``clone()`` with
+  CHILD_SETTID | CHILD_CLEARTID, run ``fn(arg)`` in the child, exit;
+* ``rt_join``           — pthread_join via futex on the clear_child_tid word;
+* ``rt_mutex_lock/unlock`` — Drepper-style 0/1/2 futex mutex built on CAS,
+  with a bounded spin before sleeping (the paper's "certain period of time"
+  before falling back to futex_wait, §4.4 / Fig. 3);
+* ``rt_spin_lock/unlock``  — pure LL/SC spinlock (exercises the global
+  LL/SC hash table and its cross-node false-positive failures);
+* ``rt_barrier_init/wait`` — generation-counting futex barrier;
+* ``rt_malloc``            — mutex-protected bump allocator over mmap;
+* ``rt_print_str`` / ``rt_print_u64`` / ``rt_print_u64_ln`` — stdout helpers
+  the tests assert against;
+* ``rt_time_ns``            — monotonic virtual-clock read (clock_gettime),
+  used by the microbenchmarks to time their measured region in-guest.
+
+Register discipline: all routines follow the GA64 call ABI (args/results in
+``a0..``, ``ra`` link, ``s*`` callee-saved); only ``t*``/``a*`` are
+clobbered unless a frame is pushed.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import AsmBuilder
+from repro.kernel.sysnums import (
+    CLONE_CHILD_CLEARTID,
+    CLONE_CHILD_SETTID,
+    CLONE_THREAD,
+    CLONE_VM,
+    SYS,
+)
+
+__all__ = ["emit_runtime", "runtime_builder", "THREAD_STACK_BYTES", "CLONE_FLAGS"]
+
+THREAD_STACK_BYTES = 64 * 1024
+CLONE_FLAGS = CLONE_VM | CLONE_THREAD | CLONE_CHILD_SETTID | CLONE_CHILD_CLEARTID
+
+#: Bounded spin counts before falling back to futex (paper §4.4).
+MUTEX_SPINS = 96
+
+
+def emit_runtime(b: AsmBuilder) -> AsmBuilder:
+    """Append the runtime's text and data to a builder (call once)."""
+    _emit_start(b)
+    _emit_thread_create(b)
+    _emit_join(b)
+    _emit_mutex(b)
+    _emit_spinlock(b)
+    _emit_barrier(b)
+    _emit_malloc(b)
+    _emit_print(b)
+    _emit_time(b)
+    _emit_data(b)
+    return b
+
+
+def runtime_builder() -> AsmBuilder:
+    """Fresh builder pre-loaded with the runtime; caller adds ``main``."""
+    b = AsmBuilder()
+    return emit_runtime(b)
+
+
+# -- pieces ----------------------------------------------------------------------
+
+
+def _emit_start(b: AsmBuilder) -> None:
+    b.comment("program entry: run main, then exit_group(main's return)")
+    b.label("_start")
+    b.call("main")
+    b.li("a7", SYS.EXIT_GROUP)
+    b.ecall()
+
+
+def _emit_thread_create(b: AsmBuilder) -> None:
+    b.comment("rt_thread_create(fn, arg) -> handle (ctid word @handle)")
+    b.label("rt_thread_create")
+    b.addi("sp", "sp", -32)
+    b.sd("ra", 24, "sp")
+    b.sd("s0", 16, "sp")
+    b.sd("s1", 8, "sp")
+    b.sd("s2", 0, "sp")
+    b.mv("s0", "a0")  # fn
+    b.mv("s1", "a1")  # arg
+    # stack = mmap(THREAD_STACK_BYTES)
+    b.li("a0", 0)
+    b.li("a1", THREAD_STACK_BYTES)
+    b.li("a2", 3)
+    b.li("a3", 0x22)
+    b.li("a4", -1)
+    b.li("a5", 0)
+    b.li("a7", SYS.MMAP)
+    b.ecall()
+    b.mv("s2", "a0")  # handle = stack base; word 0 is the ctid cell
+    # park fn/arg at the top of the child stack
+    b.li("t0", THREAD_STACK_BYTES - 16)
+    b.add("t1", "s2", "t0")
+    b.sd("s0", 0, "t1")
+    b.sd("s1", 8, "t1")
+    # clone(flags, child_sp, ptid=0, tls=0, ctid=handle)
+    b.li("a0", CLONE_FLAGS)
+    b.mv("a1", "t1")
+    b.li("a2", 0)
+    b.li("a3", 0)
+    b.mv("a4", "s2")
+    b.li("a7", SYS.CLONE)
+    b.ecall()
+    b.bnez("a0", ".rt_tc_parent")
+    b.comment("child: pop fn/arg from its stack and run")
+    b.ld("t0", 0, "sp")
+    b.ld("a0", 8, "sp")
+    b.addi("sp", "sp", 16)
+    b.jalr("ra", "t0", 0)
+    b.li("a7", SYS.EXIT)  # thread fn returned: exit(retval) in a0
+    b.ecall()
+    b.label(".rt_tc_parent")
+    b.sd("a0", 8, "s2")  # remember the tid at handle+8 (diagnostics)
+    b.mv("a0", "s2")
+    b.ld("ra", 24, "sp")
+    b.ld("s0", 16, "sp")
+    b.ld("s1", 8, "sp")
+    b.ld("s2", 0, "sp")
+    b.addi("sp", "sp", 32)
+    b.ret()
+
+
+def _emit_join(b: AsmBuilder) -> None:
+    b.comment("rt_join(handle): futex-wait until the kernel clears the ctid word")
+    b.label("rt_join")
+    b.addi("sp", "sp", -16)
+    b.sd("ra", 8, "sp")
+    b.sd("s0", 0, "sp")
+    b.mv("s0", "a0")
+    b.label(".rt_join_loop")
+    b.ld("t0", 0, "s0")
+    b.beqz("t0", ".rt_join_done")
+    b.mv("a0", "s0")
+    b.li("a1", 0)  # FUTEX_WAIT
+    b.mv("a2", "t0")
+    b.li("a7", SYS.FUTEX)
+    b.ecall()
+    b.j(".rt_join_loop")
+    b.label(".rt_join_done")
+    b.ld("ra", 8, "sp")
+    b.ld("s0", 0, "sp")
+    b.addi("sp", "sp", 16)
+    b.ret()
+
+
+def _emit_mutex(b: AsmBuilder) -> None:
+    b.comment("rt_mutex_lock(addr): CAS 0->1 with bounded spin, then 2 + futex")
+    b.label("rt_mutex_lock")
+    b.mv("t4", "a0")
+    b.li("t5", MUTEX_SPINS)
+    b.label(".rt_ml_spin")
+    b.mv("t2", "zero")
+    b.li("t1", 1)
+    b.cas("t2", "t1", "t4")  # expected 0, desired 1; old -> t2
+    b.beqz("t2", ".rt_ml_done")
+    b.addi("t5", "t5", -1)
+    b.bnez("t5", ".rt_ml_spin")
+    b.comment("contended: mark 2 and sleep (Fig. 3's futex_wait fallback)")
+    b.label(".rt_ml_slow")
+    b.li("t3", 2)
+    b.amoswap("t2", "t3", "t4")  # old = xchg(val, 2)
+    b.beqz("t2", ".rt_ml_done")
+    b.mv("a0", "t4")
+    b.li("a1", 0)  # FUTEX_WAIT
+    b.li("a2", 2)
+    b.li("a7", SYS.FUTEX)
+    b.ecall()
+    b.j(".rt_ml_slow")
+    b.label(".rt_ml_done")
+    b.ret()
+
+    b.comment("rt_mutex_unlock(addr)")
+    b.label("rt_mutex_unlock")
+    b.mv("t4", "a0")
+    b.amoswap("t2", "zero", "t4")  # old = xchg(val, 0)
+    b.li("t3", 2)
+    b.bne("t2", "t3", ".rt_mu_out")
+    b.mv("a0", "t4")
+    b.li("a1", 1)  # FUTEX_WAKE
+    b.li("a2", 1)
+    b.li("a7", SYS.FUTEX)
+    b.ecall()
+    b.label(".rt_mu_out")
+    b.ret()
+
+
+def _emit_spinlock(b: AsmBuilder) -> None:
+    b.comment("rt_spin_lock(addr): pure LL/SC loop (global LL/SC table, §4.4)")
+    b.label("rt_spin_lock")
+    b.label(".rt_sl_try")
+    b.lr("t0", "a0")
+    b.bnez("t0", ".rt_sl_try")
+    b.li("t1", 1)
+    b.sc("t2", "t1", "a0")
+    b.bnez("t2", ".rt_sl_try")
+    b.ret()
+
+    b.label("rt_spin_unlock")
+    b.sd("zero", 0, "a0")
+    b.ret()
+
+
+def _emit_barrier(b: AsmBuilder) -> None:
+    b.comment("barrier cell layout: [count @0, generation @8, total @16]")
+    b.label("rt_barrier_init")
+    b.sd("zero", 0, "a0")
+    b.sd("zero", 8, "a0")
+    b.sd("a1", 16, "a0")
+    b.ret()
+
+    b.label("rt_barrier_wait")
+    b.addi("sp", "sp", -24)
+    b.sd("ra", 16, "sp")
+    b.sd("s0", 8, "sp")
+    b.sd("s1", 0, "sp")
+    b.mv("s0", "a0")
+    b.ld("s1", 8, "s0")  # my generation (read before arriving)
+    b.li("t1", 1)
+    b.amoadd("t0", "t1", "s0")  # old count
+    b.addi("t0", "t0", 1)
+    b.ld("t2", 16, "s0")  # total
+    b.bne("t0", "t2", ".rt_bw_wait")
+    b.comment("last arriver: reset, bump generation, wake everyone")
+    b.sd("zero", 0, "s0")
+    b.addi("t3", "s1", 1)
+    b.sd("t3", 8, "s0")
+    b.addi("a0", "s0", 8)
+    b.li("a1", 1)  # FUTEX_WAKE
+    b.li("a2", 0x1FFF)  # wake-all
+    b.li("a7", SYS.FUTEX)
+    b.ecall()
+    b.j(".rt_bw_done")
+    b.label(".rt_bw_wait")
+    b.ld("t0", 8, "s0")
+    b.bne("t0", "s1", ".rt_bw_done")
+    b.addi("a0", "s0", 8)
+    b.li("a1", 0)  # FUTEX_WAIT
+    b.mv("a2", "s1")
+    b.li("a7", SYS.FUTEX)
+    b.ecall()
+    b.j(".rt_bw_wait")
+    b.label(".rt_bw_done")
+    b.ld("ra", 16, "sp")
+    b.ld("s0", 8, "sp")
+    b.ld("s1", 0, "sp")
+    b.addi("sp", "sp", 24)
+    b.ret()
+
+
+def _emit_malloc(b: AsmBuilder) -> None:
+    b.comment("rt_malloc(size): mutex-protected bump allocator over mmap arenas")
+    b.label("rt_malloc")
+    b.addi("sp", "sp", -32)
+    b.sd("ra", 24, "sp")
+    b.sd("s0", 16, "sp")
+    b.sd("s1", 8, "sp")
+    b.sd("s2", 0, "sp")
+    b.addi("s0", "a0", 15)  # round size up to 16
+    b.li("t0", -16)
+    b.and_("s0", "s0", "t0")
+    b.la("a0", "rt_malloc_lock")
+    b.call("rt_mutex_lock")
+    b.la("s2", "rt_malloc_cur")
+    b.ld("t1", 0, "s2")  # cur
+    b.ld("t3", 8, "s2")  # end (rt_malloc_end directly follows)
+    b.add("t4", "t1", "s0")
+    b.bleu("t4", "t3", ".rt_ma_fit")
+    b.comment("arena exhausted: mmap max(1 MiB, size)")
+    b.li("t5", 0x100000)
+    b.bgeu("t5", "s0", ".rt_ma_sz")
+    b.mv("t5", "s0")
+    b.label(".rt_ma_sz")
+    b.mv("s1", "t5")
+    b.li("a0", 0)
+    b.mv("a1", "t5")
+    b.li("a2", 3)
+    b.li("a3", 0x22)
+    b.li("a4", -1)
+    b.li("a5", 0)
+    b.li("a7", SYS.MMAP)
+    b.ecall()
+    b.mv("t1", "a0")
+    b.add("t3", "t1", "s1")
+    b.sd("t3", 8, "s2")
+    b.add("t4", "t1", "s0")
+    b.label(".rt_ma_fit")
+    b.sd("t4", 0, "s2")  # cur = ptr + size
+    b.mv("s1", "t1")  # result
+    b.la("a0", "rt_malloc_lock")
+    b.call("rt_mutex_unlock")
+    b.mv("a0", "s1")
+    b.ld("ra", 24, "sp")
+    b.ld("s0", 16, "sp")
+    b.ld("s1", 8, "sp")
+    b.ld("s2", 0, "sp")
+    b.addi("sp", "sp", 32)
+    b.ret()
+
+
+def _emit_print(b: AsmBuilder) -> None:
+    b.comment("rt_print_str(addr, len)")
+    b.label("rt_print_str")
+    b.mv("a2", "a1")
+    b.mv("a1", "a0")
+    b.li("a0", 1)
+    b.li("a7", SYS.WRITE)
+    b.ecall()
+    b.ret()
+
+    b.comment("rt_print_u64(value): unsigned decimal to stdout")
+    b.label("rt_print_u64")
+    b.addi("sp", "sp", -48)
+    b.sd("ra", 40, "sp")
+    b.mv("t0", "a0")
+    b.addi("t3", "sp", 31)  # write digits backwards from sp+31
+    b.li("t2", 10)
+    b.label(".rt_pu_loop")
+    b.remu("t4", "t0", "t2")
+    b.addi("t4", "t4", 48)  # '0'
+    b.sb("t4", 0, "t3")
+    b.addi("t3", "t3", -1)
+    b.divu("t0", "t0", "t2")
+    b.bnez("t0", ".rt_pu_loop")
+    b.addi("a1", "t3", 1)
+    b.addi("t5", "sp", 32)
+    b.sub("a2", "t5", "a1")
+    b.li("a0", 1)
+    b.li("a7", SYS.WRITE)
+    b.ecall()
+    b.ld("ra", 40, "sp")
+    b.addi("sp", "sp", 48)
+    b.ret()
+
+    b.comment("rt_print_u64_ln(value)")
+    b.label("rt_print_u64_ln")
+    b.addi("sp", "sp", -16)
+    b.sd("ra", 8, "sp")
+    b.call("rt_print_u64")
+    b.la("a0", "rt_nl")
+    b.li("a1", 1)
+    b.call("rt_print_str")
+    b.ld("ra", 8, "sp")
+    b.addi("sp", "sp", 16)
+    b.ret()
+
+
+def _emit_time(b: AsmBuilder) -> None:
+    b.comment("rt_time_ns() -> a0: virtual monotonic clock via clock_gettime")
+    b.label("rt_time_ns")
+    b.addi("sp", "sp", -32)
+    b.sd("ra", 24, "sp")
+    b.li("a0", 1)  # CLOCK_MONOTONIC (clockid ignored by the kernel layer)
+    b.mv("a1", "sp")
+    b.li("a7", SYS.CLOCK_GETTIME)
+    b.ecall()
+    b.ld("t0", 0, "sp")  # seconds
+    b.ld("t1", 8, "sp")  # nanoseconds
+    b.li("t2", 1_000_000_000)
+    b.mul("t0", "t0", "t2")
+    b.add("a0", "t0", "t1")
+    b.ld("ra", 24, "sp")
+    b.addi("sp", "sp", 32)
+    b.ret()
+
+
+def _emit_data(b: AsmBuilder) -> None:
+    b.data()
+    b.align(8)
+    b.label("rt_malloc_lock").quad(0)
+    b.label("rt_malloc_cur").quad(0)
+    b.label("rt_malloc_end").quad(0)
+    b.label("rt_nl").asciz("\n")
+    b.text()

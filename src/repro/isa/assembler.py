@@ -1,0 +1,481 @@
+"""Two-pass GA64 assembler.
+
+Turns assembly source into a :class:`~repro.isa.program.Program`.  Supports
+sections (``.text``/``.data``/``.bss``), data directives, labels with simple
+``label+offset`` arithmetic, and the usual RISC pseudo-instructions (``li``,
+``la``, ``mv``, ``call``, ``ret``, ``beqz``…).
+
+Operand syntax by format::
+
+    add   rd, rs1, rs2          # R
+    addi  rd, rs1, imm          # I
+    ld    rd, imm(rs1)          # I loads
+    sd    rs2, imm(rs1)         # S stores
+    beq   rs1, rs2, label       # B
+    jal   rd, label             # J
+    movz  rd, imm16, hw         # M
+    lr    rd, (rs1)             # atomics
+    sc    rd, rs2, (rs1)
+    cas   rd, rs2, (rs1)
+    hint  imm                   # scheduling hint (paper §5.3)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import IMM14_MAX, IMM14_MIN, INSTR_BYTES, encode
+from repro.isa.instructions import SPECS, Fmt, Instruction
+from repro.isa.program import DEFAULT_TEXT_BASE, Program, Section
+from repro.isa.registers import reg_num
+
+__all__ = ["Assembler", "assemble"]
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_MEM_RE = re.compile(r"^(?P<off>[^()]*)\((?P<reg>[^()]+)\)$")
+
+PAGE = 4096
+
+
+def _parse_int(tok: str) -> int:
+    tok = tok.strip()
+    try:
+        if tok.startswith("'") and tok.endswith("'") and len(tok) >= 3:
+            body = tok[1:-1].encode().decode("unicode_escape")
+            if len(body) != 1:
+                raise ValueError
+            return ord(body)
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal {tok!r}") from None
+
+
+@dataclass
+class _PendingInstr:
+    addr: int  # offset within .text
+    lineno: int
+    mnemonic: str
+    ops: list[str]
+
+
+@dataclass
+class _PendingData:
+    section: str
+    offset: int
+    size: int
+    expr: str
+    lineno: int
+
+
+class Assembler:
+    """Two-pass assembler producing a loadable :class:`Program`."""
+
+    def __init__(
+        self,
+        *,
+        text_base: int = DEFAULT_TEXT_BASE,
+        data_base: Optional[int] = None,
+        entry_symbol: str = "_start",
+    ) -> None:
+        self.text_base = text_base
+        self.data_base = data_base  # None: first page boundary after .text
+        self.entry_symbol = entry_symbol
+
+    # -- public API ----------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        lines = source.splitlines()
+        symbols: dict[str, int] = {}
+        sections = {
+            ".text": Section(".text", self.text_base),
+            ".data": Section(".data", 0),  # base fixed after pass 1
+            ".bss": Section(".bss", 0),
+        }
+        pending_instrs: list[_PendingInstr] = []
+        pending_data: list[_PendingData] = []
+
+        # ---- pass 1: layout .text, record label positions ----
+        cursor = {".text": 0, ".data": 0, ".bss": 0}
+        current = ".text"
+        label_positions: dict[str, tuple[str, int]] = {}
+
+        def here() -> int:
+            return cursor[current]
+
+        for lineno, raw in enumerate(lines, start=1):
+            line = raw.split("#", 1)[0].split("//", 1)[0].strip()
+            if not line:
+                continue
+            # Labels (possibly several on one line).
+            while True:
+                m = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:\s*", line)
+                if not m:
+                    break
+                name = m.group(1)
+                if name in label_positions:
+                    raise AssemblerError(f"line {lineno}: duplicate label {name!r}")
+                label_positions[name] = (current, here())
+                line = line[m.end():]
+            if not line:
+                continue
+            if line.startswith("."):
+                current, size = self._directive_pass1(
+                    line, lineno, current, cursor, sections, pending_data
+                )
+                continue
+            # Instruction (or pseudo): compute expansion size.
+            mnemonic, ops = self._split_instr(line, lineno)
+            n_words = self._expansion_words(mnemonic, ops, lineno)
+            if current != ".text":
+                raise AssemblerError(f"line {lineno}: instruction outside .text")
+            pending_instrs.append(
+                _PendingInstr(addr=here(), lineno=lineno, mnemonic=mnemonic, ops=ops)
+            )
+            cursor[".text"] += n_words * INSTR_BYTES
+
+        # ---- fix section bases ----
+        sections[".text"].data = bytearray(cursor[".text"])
+        text_end = self.text_base + cursor[".text"]
+        data_base = (
+            self.data_base
+            if self.data_base is not None
+            else (text_end + PAGE - 1) // PAGE * PAGE
+        )
+        sections[".data"].base = data_base
+        data_end = data_base + cursor[".data"]
+        bss_base = (data_end + PAGE - 1) // PAGE * PAGE
+        sections[".bss"].base = bss_base
+        sections[".bss"].data = bytearray(cursor[".bss"])
+        # .data content gets filled during pass 1 directives; pad to cursor.
+        if len(sections[".data"].data) < cursor[".data"]:
+            sections[".data"].data.extend(
+                bytes(cursor[".data"] - len(sections[".data"].data))
+            )
+
+        # ---- resolve labels to absolute addresses ----
+        for name, (sec, off) in label_positions.items():
+            symbols[name] = sections[sec].base + off
+
+        # ---- pass 2: encode instructions ----
+        text = sections[".text"]
+        for pi in pending_instrs:
+            pc = self.text_base + pi.addr
+            instrs = self._expand(pi.mnemonic, pi.ops, pc, symbols, pi.lineno)
+            for k, instr in enumerate(instrs):
+                word = encode(instr)
+                off = pi.addr + k * INSTR_BYTES
+                text.data[off : off + 4] = word.to_bytes(4, "little")
+
+        # ---- pass 2: data fixups ----
+        for pd in pending_data:
+            value = self._eval(pd.expr, symbols, pd.lineno)
+            sec = sections[pd.section]
+            sec.data[pd.offset : pd.offset + pd.size] = (value & ((1 << (8 * pd.size)) - 1)).to_bytes(pd.size, "little")
+
+        if self.entry_symbol not in symbols:
+            raise AssemblerError(f"entry symbol {self.entry_symbol!r} not defined")
+        return Program(sections=sections, symbols=symbols, entry=symbols[self.entry_symbol])
+
+    # -- pass-1 helpers -------------------------------------------------------
+
+    def _directive_pass1(self, line, lineno, current, cursor, sections, pending_data):
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name in (".text", ".data", ".bss"):
+            return name, 0
+        if name == ".global" or name == ".globl":
+            return current, 0
+        if name == ".align":
+            n = _parse_int(rest)
+            if n <= 0:
+                raise AssemblerError(f"line {lineno}: bad alignment {n}")
+            pad = (-cursor[current]) % n
+            cursor[current] += pad
+            if current == ".data":
+                sections[".data"].data.extend(bytes(pad))
+            elif current == ".text":
+                # pad with nops? simpler: zero words are invalid opcodes; pad
+                # must be instruction-sized anyway.
+                if pad % INSTR_BYTES:
+                    raise AssemblerError(f"line {lineno}: .align in .text must be 4-aligned")
+            return current, 0
+        if name == ".space" or name == ".zero":
+            n = _parse_int(rest)
+            if n < 0:
+                raise AssemblerError(f"line {lineno}: negative .space")
+            if current == ".text":
+                raise AssemblerError(f"line {lineno}: .space not allowed in .text")
+            cursor[current] += n
+            if current == ".data":
+                sections[".data"].data.extend(bytes(n))
+            return current, 0
+        if name in (".quad", ".word", ".half", ".byte"):
+            size = {".quad": 8, ".word": 4, ".half": 2, ".byte": 1}[name]
+            if current == ".bss":
+                raise AssemblerError(f"line {lineno}: initialized data in .bss")
+            if current == ".text":
+                raise AssemblerError(f"line {lineno}: data directive in .text")
+            for item in self._split_operands(rest):
+                pending_data.append(
+                    _PendingData(current, cursor[current], size, item, lineno)
+                )
+                cursor[current] += size
+                sections[".data"].data.extend(bytes(size))
+            return current, 0
+        if name in (".asciz", ".ascii", ".string"):
+            if current != ".data":
+                raise AssemblerError(f"line {lineno}: strings only allowed in .data")
+            m = re.match(r'^"(.*)"$', rest.strip())
+            if not m:
+                raise AssemblerError(f"line {lineno}: bad string literal")
+            payload = m.group(1).encode().decode("unicode_escape").encode("latin-1")
+            if name in (".asciz", ".string"):
+                payload += b"\x00"
+            sections[".data"].data.extend(payload)
+            cursor[".data"] += len(payload)
+            return current, 0
+        raise AssemblerError(f"line {lineno}: unknown directive {name}")
+
+    @staticmethod
+    def _split_instr(line: str, lineno: int) -> tuple[str, list[str]]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = Assembler._split_operands(parts[1]) if len(parts) > 1 else []
+        return mnemonic, ops
+
+    @staticmethod
+    def _split_operands(text: str) -> list[str]:
+        """Split on commas not inside parentheses or quotes."""
+        out, depth, cur, quote = [], 0, "", False
+        for ch in text:
+            if ch == "'" and not quote:
+                quote = True
+                cur += ch
+            elif ch == "'" and quote:
+                quote = False
+                cur += ch
+            elif ch == "(" and not quote:
+                depth += 1
+                cur += ch
+            elif ch == ")" and not quote:
+                depth -= 1
+                cur += ch
+            elif ch == "," and depth == 0 and not quote:
+                out.append(cur.strip())
+                cur = ""
+            else:
+                cur += ch
+        if cur.strip():
+            out.append(cur.strip())
+        return out
+
+    # -- pseudo-instruction expansion -----------------------------------------
+
+    _PSEUDO_FIXED = {
+        "nop": 1, "mv": 1, "neg": 1, "not": 1, "j": 1, "jr": 1,
+        "call": 1, "ret": 1, "beqz": 1, "bnez": 1, "bgt": 1, "ble": 1,
+        "bgtu": 1, "bleu": 1, "seqz": 1, "snez": 1, "la": 4,
+    }
+
+    def _expansion_words(self, mnemonic: str, ops: list[str], lineno: int) -> int:
+        if mnemonic in SPECS:
+            return 1
+        if mnemonic in self._PSEUDO_FIXED:
+            return self._PSEUDO_FIXED[mnemonic]
+        if mnemonic == "li":
+            if len(ops) != 2:
+                raise AssemblerError(f"line {lineno}: li needs 2 operands")
+            value = _parse_int(ops[1])
+            return len(_li_sequence(0, value))
+        raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+
+    def _expand(
+        self,
+        mnemonic: str,
+        ops: list[str],
+        pc: int,
+        symbols: dict[str, int],
+        lineno: int,
+    ) -> list[Instruction]:
+        A = lambda m, **kw: Instruction(SPECS[m], **kw)  # noqa: E731
+        R = reg_num
+        try:
+            if mnemonic == "nop":
+                return [A("addi", rd=0, rs1=0, imm=0)]
+            if mnemonic == "mv":
+                return [A("addi", rd=R(ops[0]), rs1=R(ops[1]), imm=0)]
+            if mnemonic == "neg":
+                return [A("sub", rd=R(ops[0]), rs1=0, rs2=R(ops[1]))]
+            if mnemonic == "not":
+                return [A("xori", rd=R(ops[0]), rs1=R(ops[1]), imm=-1)]
+            if mnemonic == "seqz":
+                return [A("sltiu", rd=R(ops[0]), rs1=R(ops[1]), imm=1)]
+            if mnemonic == "snez":
+                return [A("sltu", rd=R(ops[0]), rs1=0, rs2=R(ops[1]))]
+            if mnemonic == "j":
+                return [A("jal", rd=0, imm=self._branch_off(ops[0], pc, symbols, lineno))]
+            if mnemonic == "jr":
+                return [A("jalr", rd=0, rs1=R(ops[0]), imm=0)]
+            if mnemonic == "call":
+                return [A("jal", rd=1, imm=self._branch_off(ops[0], pc, symbols, lineno))]
+            if mnemonic == "ret":
+                return [A("jalr", rd=0, rs1=1, imm=0)]
+            if mnemonic in ("beqz", "bnez"):
+                real = "beq" if mnemonic == "beqz" else "bne"
+                return [
+                    A(real, rs1=R(ops[0]), rs2=0,
+                      imm=self._branch_off(ops[1], pc, symbols, lineno))
+                ]
+            if mnemonic in ("bgt", "ble", "bgtu", "bleu"):
+                real = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}[mnemonic]
+                return [
+                    A(real, rs1=R(ops[1]), rs2=R(ops[0]),
+                      imm=self._branch_off(ops[2], pc, symbols, lineno))
+                ]
+            if mnemonic == "li":
+                return _li_sequence(R(ops[0]), _parse_int(ops[1]))
+            if mnemonic == "la":
+                addr = self._eval(ops[1], symbols, lineno)
+                return _la_sequence(R(ops[0]), addr)
+            spec = SPECS.get(mnemonic)
+            if spec is None:
+                raise AssemblerError(f"line {lineno}: unknown mnemonic {mnemonic!r}")
+            return [self._parse_real(spec, mnemonic, ops, pc, symbols, lineno)]
+        except (KeyError, IndexError) as exc:
+            raise AssemblerError(f"line {lineno}: bad operands for {mnemonic}: {exc}") from None
+
+    def _parse_real(self, spec, mnemonic, ops, pc, symbols, lineno) -> Instruction:
+        A = lambda **kw: Instruction(spec, **kw)  # noqa: E731
+        R = reg_num
+        fmt = spec.fmt
+        if fmt is Fmt.SYS:
+            if ops:
+                raise AssemblerError(f"line {lineno}: {mnemonic} takes no operands")
+            return A()
+        if mnemonic == "hint":
+            # `hint 5` (literal group) or `hint t0` (group from register)
+            operand = ops[0].strip()
+            from repro.isa.registers import REG_BY_NAME
+
+            if operand.lower() in REG_BY_NAME:
+                return A(rd=0, rs1=R(operand), imm=0)
+            return A(rd=0, rs1=0, imm=self._eval(operand, symbols, lineno))
+        if fmt is Fmt.R:
+            if spec.is_atomic:
+                if mnemonic == "lr":
+                    rd, mem = ops
+                    return A(rd=R(rd), rs1=self._bare_mem(mem, lineno))
+                rd, rs2, mem = ops
+                return A(rd=R(rd), rs2=R(rs2), rs1=self._bare_mem(mem, lineno))
+            if mnemonic in ("fsqrt", "fcvt.d.l", "fcvt.l.d"):
+                return A(rd=R(ops[0]), rs1=R(ops[1]))
+            return A(rd=R(ops[0]), rs1=R(ops[1]), rs2=R(ops[2]))
+        if fmt is Fmt.I:
+            if spec.is_load:
+                off, base = self._mem_operand(ops[1], symbols, lineno)
+                return A(rd=R(ops[0]), rs1=base, imm=off)
+            if mnemonic == "jalr":
+                return A(rd=R(ops[0]), rs1=R(ops[1]), imm=self._eval(ops[2], symbols, lineno))
+            return A(rd=R(ops[0]), rs1=R(ops[1]), imm=self._eval(ops[2], symbols, lineno))
+        if fmt is Fmt.S:
+            off, base = self._mem_operand(ops[1], symbols, lineno)
+            return A(rs2=R(ops[0]), rs1=base, imm=off)
+        if fmt is Fmt.B:
+            return A(rs1=R(ops[0]), rs2=R(ops[1]),
+                     imm=self._branch_off(ops[2], pc, symbols, lineno))
+        if fmt is Fmt.M:
+            return A(rd=R(ops[0]), imm=self._eval(ops[1], symbols, lineno) & 0xFFFF,
+                     hw=self._eval(ops[2], symbols, lineno) if len(ops) > 2 else 0)
+        if fmt is Fmt.J:
+            return A(rd=R(ops[0]), imm=self._branch_off(ops[1], pc, symbols, lineno))
+        raise AssemblerError(f"line {lineno}: cannot parse {mnemonic}")  # pragma: no cover
+
+    # -- operand helpers ------------------------------------------------------
+
+    def _mem_operand(self, text: str, symbols, lineno) -> tuple[int, int]:
+        m = _MEM_RE.match(text.strip())
+        if not m:
+            raise AssemblerError(f"line {lineno}: bad memory operand {text!r}")
+        off_text = m.group("off").strip()
+        off = self._eval(off_text, symbols, lineno) if off_text else 0
+        return off, reg_num(m.group("reg").strip())
+
+    def _bare_mem(self, text: str, lineno) -> int:
+        m = _MEM_RE.match(text.strip())
+        if not m or m.group("off").strip():
+            raise AssemblerError(f"line {lineno}: atomic operand must be (reg): {text!r}")
+        return reg_num(m.group("reg").strip())
+
+    def _branch_off(self, target: str, pc: int, symbols, lineno) -> int:
+        target = target.strip()
+        if _LABEL_RE.match(target) or "+" in target or "-" in target[1:]:
+            return self._eval(target, symbols, lineno) - pc
+        return _parse_int(target)
+
+    def _eval(self, expr: str, symbols: dict[str, int], lineno: int) -> int:
+        expr = expr.strip()
+        m = re.match(r"^([A-Za-z_.$][\w.$]*)\s*([+-])\s*(.+)$", expr)
+        if m:
+            base = symbols.get(m.group(1))
+            if base is None:
+                raise AssemblerError(f"line {lineno}: unknown symbol {m.group(1)!r}")
+            off = _parse_int(m.group(3))
+            return base + off if m.group(2) == "+" else base - off
+        if _LABEL_RE.match(expr) and not re.match(r"^-?\d|^0x", expr):
+            if expr not in symbols:
+                raise AssemblerError(f"line {lineno}: unknown symbol {expr!r}")
+            return symbols[expr]
+        return _parse_int(expr)
+
+
+# -- wide-constant sequences ---------------------------------------------------
+
+
+def _halfwords(value: int) -> list[int]:
+    u = value & 0xFFFF_FFFF_FFFF_FFFF
+    return [(u >> (16 * k)) & 0xFFFF for k in range(4)]
+
+
+def _li_sequence(rd: int, value: int) -> list[Instruction]:
+    """Minimal movz/movn/movk (or addi) sequence materializing ``value``."""
+    from repro.isa.instructions import SPECS
+
+    if IMM14_MIN <= value <= IMM14_MAX:
+        return [Instruction(SPECS["addi"], rd=rd, rs1=0, imm=value)]
+    hws = _halfwords(value)
+    nonzero = [k for k, h in enumerate(hws) if h != 0]
+    nonffff = [k for k, h in enumerate(hws) if h != 0xFFFF]
+    out: list[Instruction] = []
+    if len(nonffff) < len(nonzero):
+        first, *rest = nonffff if nonffff else [0]
+        out.append(Instruction(SPECS["movn"], rd=rd, imm=(~hws[first]) & 0xFFFF, hw=first))
+        for k in rest:
+            out.append(Instruction(SPECS["movk"], rd=rd, imm=hws[k], hw=k))
+    else:
+        if not nonzero:
+            return [Instruction(SPECS["movz"], rd=rd, imm=0, hw=0)]
+        first, *rest = nonzero
+        out.append(Instruction(SPECS["movz"], rd=rd, imm=hws[first], hw=first))
+        for k in rest:
+            out.append(Instruction(SPECS["movk"], rd=rd, imm=hws[k], hw=k))
+    return out
+
+
+def _la_sequence(rd: int, addr: int) -> list[Instruction]:
+    """Fixed four-instruction absolute-address load (size known in pass 1)."""
+    from repro.isa.instructions import SPECS
+
+    hws = _halfwords(addr)
+    out = [Instruction(SPECS["movz"], rd=rd, imm=hws[0], hw=0)]
+    for k in (1, 2, 3):
+        out.append(Instruction(SPECS["movk"], rd=rd, imm=hws[k], hw=k))
+    return out
+
+
+def assemble(source: str, **kwargs) -> Program:
+    """Convenience wrapper: assemble ``source`` with default bases."""
+    return Assembler(**kwargs).assemble(source)

@@ -1,0 +1,58 @@
+"""GA64 disassembler (for debugging, tracing and round-trip tests)."""
+
+from __future__ import annotations
+
+from repro.isa.encoding import decode
+from repro.isa.instructions import Fmt, Instruction
+from repro.isa.registers import reg_name
+
+__all__ = ["format_instruction", "disassemble_word", "disassemble_block"]
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render a decoded instruction in assembler-accepted syntax."""
+    spec = instr.spec
+    m = spec.mnemonic
+    r = reg_name
+    if spec.fmt is Fmt.SYS:
+        return m
+    if m == "hint":
+        return f"hint {instr.imm}"
+    if spec.fmt is Fmt.R:
+        if m == "lr":
+            return f"lr {r(instr.rd)}, ({r(instr.rs1)})"
+        if spec.is_atomic:
+            return f"{m} {r(instr.rd)}, {r(instr.rs2)}, ({r(instr.rs1)})"
+        if m in ("fsqrt", "fcvt.d.l", "fcvt.l.d"):
+            return f"{m} {r(instr.rd)}, {r(instr.rs1)}"
+        return f"{m} {r(instr.rd)}, {r(instr.rs1)}, {r(instr.rs2)}"
+    if spec.fmt is Fmt.I:
+        if spec.is_load:
+            return f"{m} {r(instr.rd)}, {instr.imm}({r(instr.rs1)})"
+        return f"{m} {r(instr.rd)}, {r(instr.rs1)}, {instr.imm}"
+    if spec.fmt is Fmt.S:
+        return f"{m} {r(instr.rs2)}, {instr.imm}({r(instr.rs1)})"
+    if spec.fmt is Fmt.B:
+        return f"{m} {r(instr.rs1)}, {r(instr.rs2)}, {instr.imm}"
+    if spec.fmt is Fmt.M:
+        return f"{m} {r(instr.rd)}, {instr.imm}, {instr.hw}"
+    if spec.fmt is Fmt.J:
+        return f"{m} {r(instr.rd)}, {instr.imm}"
+    raise AssertionError(f"unhandled format {spec.fmt}")  # pragma: no cover
+
+
+def disassemble_word(word: int, pc: int | None = None) -> str:
+    return format_instruction(decode(word, pc=pc))
+
+
+def disassemble_block(data: bytes, base: int = 0) -> list[str]:
+    """Disassemble a byte blob into ``addr: text`` lines."""
+    out = []
+    for off in range(0, len(data) - len(data) % 4, 4):
+        word = int.from_bytes(data[off : off + 4], "little")
+        try:
+            text = disassemble_word(word, pc=base + off)
+        except Exception:
+            text = f".word {word:#010x}"
+        out.append(f"{base + off:#010x}: {text}")
+    return out

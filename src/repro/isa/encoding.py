@@ -1,0 +1,149 @@
+"""Binary encoding/decoding of GA64 instructions.
+
+Word layout (bit 31 = MSB):
+
+====  ==========  ==========  ==========  =================
+fmt   [31:24]     [23:19]     [18:14]     [13:0]
+====  ==========  ==========  ==========  =================
+R     opcode      rd          rs1         rs2 in [13:9]
+I     opcode      rd          rs1         imm14 (signed)
+S/B   opcode      rs1         rs2         imm14 (signed)
+M     opcode      rd          hw [18:17]  imm16 in [16:1]*
+J     opcode      rd          imm19 in [18:0] (signed)
+SYS   opcode      0           0           0
+====  ==========  ==========  ==========  =================
+
+(*) For M-format the 16-bit immediate occupies bits [15:0] and the halfword
+selector bits [17:16]; bit 18 is reserved-zero.
+
+Branch/jump immediates are signed *byte* offsets relative to the branch
+instruction's own address and must be 4-byte aligned.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError, InvalidInstruction
+from repro.isa.instructions import BY_OPCODE, Fmt, Instruction
+from repro.isa.registers import NUM_REGS
+
+__all__ = [
+    "encode",
+    "decode",
+    "IMM14_MIN",
+    "IMM14_MAX",
+    "IMM19_MIN",
+    "IMM19_MAX",
+    "INSTR_BYTES",
+]
+
+INSTR_BYTES = 4
+
+IMM14_MIN, IMM14_MAX = -(1 << 13), (1 << 13) - 1
+IMM19_MIN, IMM19_MAX = -(1 << 18), (1 << 18) - 1
+
+
+def _check_reg(value: int, what: str) -> None:
+    if not 0 <= value < NUM_REGS:
+        raise EncodingError(f"{what} out of range: {value}")
+
+
+def _check_imm(value: int, lo: int, hi: int, what: str) -> None:
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} out of range [{lo}, {hi}]: {value}")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    spec = instr.spec
+    word = spec.opcode << 24
+    fmt = spec.fmt
+    if fmt is Fmt.R:
+        _check_reg(instr.rd, "rd")
+        _check_reg(instr.rs1, "rs1")
+        _check_reg(instr.rs2, "rs2")
+        word |= instr.rd << 19 | instr.rs1 << 14 | instr.rs2 << 9
+    elif fmt is Fmt.I:
+        _check_reg(instr.rd, "rd")
+        _check_reg(instr.rs1, "rs1")
+        _check_imm(instr.imm, IMM14_MIN, IMM14_MAX, "imm14")
+        word |= instr.rd << 19 | instr.rs1 << 14 | (instr.imm & 0x3FFF)
+    elif fmt in (Fmt.S, Fmt.B):
+        _check_reg(instr.rs1, "rs1")
+        _check_reg(instr.rs2, "rs2")
+        _check_imm(instr.imm, IMM14_MIN, IMM14_MAX, "imm14")
+        if fmt is Fmt.B and instr.imm % 4 != 0:
+            raise EncodingError(f"branch offset not 4-aligned: {instr.imm}")
+        word |= instr.rs1 << 19 | instr.rs2 << 14 | (instr.imm & 0x3FFF)
+    elif fmt is Fmt.M:
+        _check_reg(instr.rd, "rd")
+        if not 0 <= instr.hw <= 3:
+            raise EncodingError(f"halfword index out of range: {instr.hw}")
+        if not 0 <= instr.imm <= 0xFFFF:
+            raise EncodingError(f"imm16 out of range: {instr.imm}")
+        word |= instr.rd << 19 | instr.hw << 16 | instr.imm
+    elif fmt is Fmt.J:
+        _check_reg(instr.rd, "rd")
+        _check_imm(instr.imm, IMM19_MIN, IMM19_MAX, "imm19")
+        if instr.imm % 4 != 0:
+            raise EncodingError(f"jump offset not 4-aligned: {instr.imm}")
+        word |= instr.rd << 19 | (instr.imm & 0x7FFFF)
+    elif fmt is Fmt.SYS:
+        pass
+    else:  # pragma: no cover - exhaustive
+        raise EncodingError(f"unknown format {fmt}")
+    return word
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decode(word: int, *, pc: int | None = None) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`InvalidInstruction` for undefined opcodes so the engine
+    can deliver a guest fault at ``pc``.
+    """
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    opcode = (word >> 24) & 0xFF
+    spec = BY_OPCODE.get(opcode)
+    if spec is None:
+        raise InvalidInstruction(f"undefined opcode {opcode:#x} in word {word:#010x}", pc=pc)
+    fmt = spec.fmt
+    if fmt is Fmt.R:
+        return Instruction(
+            spec,
+            rd=(word >> 19) & 0x1F,
+            rs1=(word >> 14) & 0x1F,
+            rs2=(word >> 9) & 0x1F,
+        )
+    if fmt is Fmt.I:
+        return Instruction(
+            spec,
+            rd=(word >> 19) & 0x1F,
+            rs1=(word >> 14) & 0x1F,
+            imm=_sext(word & 0x3FFF, 14),
+        )
+    if fmt in (Fmt.S, Fmt.B):
+        return Instruction(
+            spec,
+            rs1=(word >> 19) & 0x1F,
+            rs2=(word >> 14) & 0x1F,
+            imm=_sext(word & 0x3FFF, 14),
+        )
+    if fmt is Fmt.M:
+        return Instruction(
+            spec,
+            rd=(word >> 19) & 0x1F,
+            hw=(word >> 16) & 0x3,
+            imm=word & 0xFFFF,
+        )
+    if fmt is Fmt.J:
+        return Instruction(
+            spec,
+            rd=(word >> 19) & 0x1F,
+            imm=_sext(word & 0x7FFFF, 19),
+        )
+    return Instruction(spec)  # SYS

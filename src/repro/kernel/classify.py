@@ -1,0 +1,54 @@
+"""Local/global syscall classification (paper §4.3).
+
+Global syscalls mutate or read state that must be visible to every guest
+thread, so a slave forwards them to the master.  Local syscalls (e.g.
+``gettimeofday`` in the paper) can be served on the node without a round
+trip.  The paper implements 19 global syscalls — "this list could be updated
+as more benchmarks are supported" — and so can this table.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.sysnums import SYS
+
+__all__ = ["GLOBAL_SYSCALLS", "LOCAL_SYSCALLS", "is_global"]
+
+#: Syscalls that must execute on the master.
+GLOBAL_SYSCALLS = frozenset(
+    {
+        SYS.OPENAT,
+        SYS.CLOSE,
+        SYS.LSEEK,
+        SYS.READ,
+        SYS.WRITE,
+        SYS.EXIT,
+        SYS.EXIT_GROUP,
+        SYS.SET_TID_ADDRESS,
+        SYS.FUTEX,
+        SYS.BRK,
+        SYS.MUNMAP,
+        SYS.CLONE,
+        SYS.MMAP,
+        # live thread migration: the master must re-place the thread (§4.1)
+        SYS.SCHED_SETAFFINITY,
+    }
+)
+
+#: Syscalls a slave may execute locally.
+LOCAL_SYSCALLS = frozenset(
+    {
+        SYS.NANOSLEEP,
+        SYS.CLOCK_GETTIME,
+        SYS.SCHED_YIELD,
+        SYS.GETTIMEOFDAY,
+        SYS.GETPID,
+        SYS.GETTID,
+        SYS.MPROTECT,
+        SYS.MADVISE,
+    }
+)
+
+
+def is_global(sysno: int) -> bool:
+    """Unknown syscalls go to the master too — it owns the ENOSYS answer."""
+    return sysno not in LOCAL_SYSCALLS

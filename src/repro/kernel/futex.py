@@ -1,0 +1,68 @@
+"""Distributed futex table (paper §4.4).
+
+Linux keeps a per-address wait queue for futexes; DQEMU emulates that with a
+futex table on the master so threads on any node can sleep on and wake guest
+addresses.  The table itself is pure bookkeeping: the *value check* of
+FUTEX_WAIT (compare the word at uaddr against the expected value) is done by
+the syscall executor, which can read guest memory through the coherence
+protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+__all__ = ["FutexTable", "Waiter"]
+
+
+@dataclass(frozen=True)
+class Waiter:
+    tid: int
+    node: int  # where the thread is parked — the wake message goes there
+
+
+class FutexTable:
+    """uaddr → FIFO of waiting threads."""
+
+    def __init__(self) -> None:
+        self._queues: dict[int, Deque[Waiter]] = {}
+        self.total_waits = 0
+        self.total_wakes = 0
+
+    def enqueue(self, uaddr: int, tid: int, node: int) -> None:
+        self._queues.setdefault(uaddr, deque()).append(Waiter(tid, node))
+        self.total_waits += 1
+
+    def wake(self, uaddr: int, count: int) -> list[Waiter]:
+        """Pop up to ``count`` waiters in FIFO order."""
+        queue = self._queues.get(uaddr)
+        if not queue:
+            return []
+        woken: list[Waiter] = []
+        while queue and len(woken) < count:
+            woken.append(queue.popleft())
+        if not queue:
+            del self._queues[uaddr]
+        self.total_wakes += len(woken)
+        return woken
+
+    def remove(self, tid: int) -> bool:
+        """Drop a thread from any queue (thread killed while waiting)."""
+        for uaddr, queue in list(self._queues.items()):
+            filtered = deque(w for w in queue if w.tid != tid)
+            if len(filtered) != len(queue):
+                if filtered:
+                    self._queues[uaddr] = filtered
+                else:
+                    del self._queues[uaddr]
+                return True
+        return False
+
+    def waiters(self, uaddr: int) -> tuple[Waiter, ...]:
+        return tuple(self._queues.get(uaddr, ()))
+
+    @property
+    def n_sleeping(self) -> int:
+        return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,268 @@
+"""Guest syscall execution against the centralized system state (paper §4.3).
+
+The master owns the authoritative system state (files, futexes, threads,
+address-space layout); this module implements the syscalls against it.
+Because syscalls may touch guest memory through the coherence protocol
+(pointer arguments — the paper migrates those pages to the master), every
+executor entry point is a *generator* in simulation-process style: it
+``yield``s whatever events the guest-memory accessor needs and finally
+returns a :class:`SyscallResult`.
+
+Deviations from Linux, by design of the GA64 ISA:
+
+* futex words are 64-bit (GA64 atomics are 64-bit only);
+* ``clear_child_tid`` is zeroed as a 64-bit store on exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Protocol
+
+from repro.kernel.futex import FutexTable, Waiter
+from repro.kernel.mm import MemoryManager
+from repro.kernel.sysnums import ERRNO, FUTEX_OP_MASK, FUTEX_WAIT, FUTEX_WAKE, SYS
+from repro.kernel.threads import ThreadState, ThreadTable
+from repro.kernel.vfs import VFS
+
+__all__ = ["KernelMemory", "SystemState", "SyscallResult", "SyscallExecutor", "CloneRequest"]
+
+
+class KernelMemory(Protocol):
+    """Guest-memory accessor used by the kernel (generator-based so the
+    master can acquire pages through the DSM while executing a syscall)."""
+
+    def read_guest(self, addr: int, size: int) -> Generator[Any, Any, bytes]:
+        ...
+
+    def write_guest(self, addr: int, data: bytes) -> Generator[Any, Any, None]:
+        ...
+
+
+@dataclass
+class CloneRequest:
+    flags: int
+    child_stack: int
+    ptid: int
+    tls: int
+    ctid: int
+    parent_tid: int
+
+
+@dataclass
+class SyscallResult:
+    """Outcome of a syscall.
+
+    ``action`` tells the delegation layer what to do next:
+
+    * ``return``      — resume the thread with ``retval`` in a0;
+    * ``blocked``     — park the thread (futex_wait); it is resumed later by
+      a wake carrying its retval;
+    * ``clone``       — the scheduler must place and start a child thread;
+    * ``exit``        — the calling thread is done;
+    * ``exit_group``  — the whole guest program is done;
+    * ``yield``       — reschedule the thread on its node;
+    * ``migrate``     — move the calling thread to ``migrate_to``
+      (``sched_setaffinity``: cpuset bit *k* selects node *k*).
+    """
+
+    retval: int = 0
+    action: str = "return"
+    woken: list[Waiter] = field(default_factory=list)
+    clone: Optional[CloneRequest] = None
+    exit_status: int = 0
+    migrate_to: int = -1
+
+
+class SystemState:
+    """Authoritative cluster-wide system state, kept on the master."""
+
+    def __init__(self, *, brk_start: int, stdin: bytes = b"",
+                 clock_ns: Callable[[], int] = lambda: 0):
+        self.vfs = VFS(stdin=stdin)
+        self.futexes = FutexTable()
+        self.threads = ThreadTable()
+        self.mm = MemoryManager(brk_start=brk_start)
+        self.clock_ns = clock_ns
+        self.pid = 1
+
+
+def _ret(value: int) -> SyscallResult:
+    return SyscallResult(retval=value & 0xFFFF_FFFF_FFFF_FFFF)
+
+
+def _s(value: int) -> int:
+    """Interpret a raw 64-bit argument as signed."""
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+class SyscallExecutor:
+    """Executes syscalls for any guest thread against a SystemState."""
+
+    def __init__(self, state: SystemState, mem: KernelMemory):
+        self.state = state
+        self.mem = mem
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _read_cstr(self, addr: int, limit: int = 4096) -> Generator[Any, Any, str]:
+        out = bytearray()
+        while len(out) < limit:
+            chunk = yield from self.mem.read_guest(addr + len(out), 64)
+            nul = chunk.find(0)
+            if nul >= 0:
+                out += chunk[:nul]
+                return out.decode("utf-8", errors="replace")
+            out += chunk
+        return out.decode("utf-8", errors="replace")
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def execute(self, tid: int, node: int, sysno: int, args: tuple[int, ...]
+                ) -> Generator[Any, Any, SyscallResult]:
+        a = tuple(args) + (0,) * (6 - len(args))
+        st = self.state
+
+        if sysno == SYS.WRITE:
+            fd, buf, count = a[0], a[1], _s(a[2])
+            if count < 0:
+                return _ret(-ERRNO.EINVAL)
+            if count:
+                data = yield from self.mem.read_guest(buf, count)
+            else:
+                data = b""
+            return _ret(st.vfs.write(fd, data))
+
+        if sysno == SYS.READ:
+            fd, buf, count = a[0], a[1], _s(a[2])
+            if count < 0:
+                return _ret(-ERRNO.EINVAL)
+            result = st.vfs.read(fd, count)
+            if isinstance(result, int):
+                return _ret(result)
+            if result:
+                yield from self.mem.write_guest(buf, result)
+            return _ret(len(result))
+
+        if sysno == SYS.OPENAT:
+            path = yield from self._read_cstr(a[1])
+            return _ret(st.vfs.openat(path, a[2]))
+
+        if sysno == SYS.CLOSE:
+            return _ret(st.vfs.close(a[0]))
+
+        if sysno == SYS.LSEEK:
+            return _ret(st.vfs.lseek(a[0], _s(a[1]), a[2]))
+
+        if sysno == SYS.FUTEX:
+            return (yield from self._futex(tid, node, a))
+
+        if sysno == SYS.SET_TID_ADDRESS:
+            st.threads.set_clear_child_tid(tid, a[0])
+            return _ret(tid)
+
+        if sysno == SYS.CLONE:
+            return SyscallResult(
+                action="clone",
+                clone=CloneRequest(
+                    flags=a[0], child_stack=a[1], ptid=a[2], tls=a[3], ctid=a[4],
+                    parent_tid=tid,
+                ),
+            )
+
+        if sysno == SYS.EXIT:
+            return (yield from self._exit_thread(tid, _s(a[0])))
+
+        if sysno == SYS.EXIT_GROUP:
+            return SyscallResult(action="exit_group", exit_status=_s(a[0]) & 0xFF)
+
+        if sysno == SYS.BRK:
+            return _ret(st.mm.brk(a[0]))
+
+        if sysno == SYS.MMAP:
+            # (addr, length, prot, flags, fd, offset) — anonymous only
+            return _ret(st.mm.mmap(_s(a[1])))
+
+        if sysno == SYS.MUNMAP:
+            return _ret(st.mm.munmap(a[0], _s(a[1])))
+
+        if sysno == SYS.GETPID:
+            return _ret(st.pid)
+
+        if sysno == SYS.GETTID:
+            return _ret(tid)
+
+        if sysno == SYS.SCHED_YIELD:
+            return SyscallResult(action="yield")
+
+        if sysno == SYS.CLOCK_GETTIME:
+            now = st.clock_ns()
+            ts = (now // 1_000_000_000).to_bytes(8, "little") + (
+                now % 1_000_000_000
+            ).to_bytes(8, "little")
+            yield from self.mem.write_guest(a[1], ts)
+            return _ret(0)
+
+        if sysno == SYS.GETTIMEOFDAY:
+            now = st.clock_ns()
+            tv = (now // 1_000_000_000).to_bytes(8, "little") + (
+                (now % 1_000_000_000) // 1000
+            ).to_bytes(8, "little")
+            yield from self.mem.write_guest(a[0], tv)
+            return _ret(0)
+
+        if sysno == SYS.SCHED_SETAFFINITY:
+            # (pid, cpusetsize, mask*) — pid 0/self only; in this cluster
+            # cpuset bit k selects node k (live thread migration, §4.1).
+            if a[0] not in (0, tid):
+                return _ret(-ERRNO.EPERM)
+            size = min(_s(a[1]) or 8, 8)
+            if size <= 0:
+                return _ret(-ERRNO.EINVAL)
+            raw = yield from self.mem.read_guest(a[2], size)
+            mask = int.from_bytes(raw, "little")
+            if mask == 0:
+                return _ret(-ERRNO.EINVAL)
+            target = (mask & -mask).bit_length() - 1  # lowest set bit
+            return SyscallResult(action="migrate", migrate_to=target)
+
+        if sysno in (SYS.MPROTECT, SYS.MADVISE):
+            return _ret(0)
+
+        return _ret(-ERRNO.ENOSYS)
+
+    # -- futex ------------------------------------------------------------
+
+    def _futex(self, tid: int, node: int, a: tuple[int, ...]
+               ) -> Generator[Any, Any, SyscallResult]:
+        uaddr, op, val = a[0], a[1] & FUTEX_OP_MASK, a[2]
+        st = self.state
+        if op == FUTEX_WAIT:
+            raw = yield from self.mem.read_guest(uaddr, 8)
+            current = int.from_bytes(raw, "little")
+            if current != val:
+                return _ret(-ERRNO.EAGAIN)
+            st.futexes.enqueue(uaddr, tid, node)
+            st.threads.set_state(tid, ThreadState.BLOCKED)
+            return SyscallResult(action="blocked")
+        if op == FUTEX_WAKE:
+            woken = st.futexes.wake(uaddr, _s(val))
+            for w in woken:
+                st.threads.set_state(w.tid, ThreadState.RUNNING)
+            return SyscallResult(retval=len(woken), woken=woken)
+        return _ret(-ERRNO.ENOSYS)
+
+    # -- thread exit ------------------------------------------------------------
+
+    def _exit_thread(self, tid: int, status: int) -> Generator[Any, Any, SyscallResult]:
+        st = self.state
+        rec = st.threads.mark_exited(tid, status)
+        result = SyscallResult(action="exit", exit_status=status)
+        if rec.clear_child_tid:
+            # CLONE_CHILD_CLEARTID: zero the word and wake joiners.
+            yield from self.mem.write_guest(rec.clear_child_tid, bytes(8))
+            woken = st.futexes.wake(rec.clear_child_tid, 2**31)
+            for w in woken:
+                st.threads.set_state(w.tid, ThreadState.RUNNING)
+            result.woken = woken
+        return result

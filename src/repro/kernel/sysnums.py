@@ -1,0 +1,69 @@
+"""Guest syscall numbers and errno values (Linux riscv64 convention).
+
+DQEMU runs in user mode: guest syscalls are trapped and emulated by
+equivalent host syscalls (paper §2).  Our "host kernel" is the emulated
+kernel layer in this package; numbering follows Linux on riscv64 so guest
+code reads naturally.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SYS", "ERRNO", "FUTEX_WAIT", "FUTEX_WAKE", "sys_name"]
+
+
+class SYS:
+    OPENAT = 56
+    CLOSE = 57
+    LSEEK = 62
+    READ = 63
+    WRITE = 64
+    EXIT = 93
+    EXIT_GROUP = 94
+    SET_TID_ADDRESS = 96
+    FUTEX = 98
+    CLOCK_GETTIME = 113
+    SCHED_YIELD = 124
+    GETTIMEOFDAY = 169
+    GETPID = 172
+    GETTID = 178
+    NANOSLEEP = 101
+    SCHED_SETAFFINITY = 122
+    BRK = 214
+    MUNMAP = 215
+    CLONE = 220
+    MMAP = 222
+    MPROTECT = 226
+    MADVISE = 233
+
+
+_NAMES = {v: k.lower() for k, v in vars(SYS).items() if not k.startswith("_")}
+
+
+def sys_name(number: int) -> str:
+    return _NAMES.get(number, f"sys_{number}")
+
+
+class ERRNO:
+    EPERM = 1
+    ENOENT = 2
+    EBADF = 9
+    EAGAIN = 11
+    ENOMEM = 12
+    EACCES = 13
+    EEXIST = 17
+    EINVAL = 22
+    ENOSYS = 38
+
+
+# futex operations (PRIVATE flag bit masked off before dispatch)
+FUTEX_WAIT = 0
+FUTEX_WAKE = 1
+FUTEX_OP_MASK = 0x7F
+
+# clone(2) flags used by the guest runtime's thread_create
+CLONE_VM = 0x0000_0100
+CLONE_THREAD = 0x0001_0000
+CLONE_PARENT_SETTID = 0x0010_0000
+CLONE_CHILD_CLEARTID = 0x0020_0000
+CLONE_CHILD_SETTID = 0x0100_0000
+

@@ -1,0 +1,35 @@
+"""Memory substrate: layout, page stores, MSI states, flat memory, DSM directory."""
+
+from repro.mem.api import M64, MemoryAPI, PageStall, check_span, sign_extend
+from repro.mem.flat import FlatMemory
+from repro.mem.layout import (
+    MMAP_BASE,
+    PAGE_SIZE,
+    SHADOW_BASE,
+    STACK_TOP,
+    TEXT_BASE,
+    page_base,
+    page_of,
+    page_offset,
+)
+from repro.mem.msi import MSIState
+from repro.mem.pagestore import PageStore
+
+__all__ = [
+    "FlatMemory",
+    "M64",
+    "MMAP_BASE",
+    "MSIState",
+    "MemoryAPI",
+    "PAGE_SIZE",
+    "PageStall",
+    "PageStore",
+    "SHADOW_BASE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "check_span",
+    "page_base",
+    "page_of",
+    "page_offset",
+    "sign_extend",
+]

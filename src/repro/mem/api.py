@@ -1,0 +1,97 @@
+"""Memory interface between the DBT engine and a memory system.
+
+The execution engine is memory-system agnostic: it runs against anything
+implementing :class:`MemoryAPI`.  Unit tests and the single-node QEMU
+baseline use :class:`~repro.mem.flat.FlatMemory`; DQEMU nodes use the
+DSM-backed memory in :mod:`repro.core.node`, whose accesses can raise
+:class:`PageStall` when the coherence protocol must fetch a page — the
+software equivalent of the page-protection faults DQEMU relies on (§4.2).
+
+GA64 access rules enforced here:
+
+* any alignment within one page is legal; an access crossing a page boundary
+  raises :class:`UnalignedAccess` (statically-linked guests keep data aligned);
+* atomics must be 8-byte aligned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.errors import UnalignedAccess
+from repro.mem.layout import page_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dbt.cpu import CPUState
+
+__all__ = ["PageStall", "MemoryAPI", "check_span", "sign_extend", "M64"]
+
+M64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class PageStall(Exception):
+    """A guest access needs a page the local node does not hold (or holds in
+    an insufficient state).  Carries what the DSM client needs to issue the
+    page request; the faulting instruction is re-executed afterwards.
+
+    Deliberately *not* a ReproError: it is control flow, not a failure.
+    """
+
+    __slots__ = ("page", "write", "offset", "size")
+
+    def __init__(self, page: int, write: bool, offset: int, size: int = 8):
+        super().__init__(f"page stall: page={page:#x} write={write}")
+        self.page = page
+        self.write = write
+        self.offset = offset
+        self.size = size  # access width — the false-sharing detector needs it
+
+
+def check_span(addr: int, size: int, *, pc: int | None = None) -> None:
+    """Reject accesses that cross a page boundary."""
+    if page_of(addr) != page_of(addr + size - 1):
+        raise UnalignedAccess(
+            f"access of {size} bytes at {addr:#x} crosses a page boundary",
+            pc=pc,
+            addr=addr,
+        )
+
+
+def sign_extend(value: int, size: int) -> int:
+    """Sign-extend a ``size``-byte little-endian value to unsigned 64-bit."""
+    sign = 1 << (8 * size - 1)
+    return ((value & (sign - 1)) - (value & sign)) & M64
+
+
+class MemoryAPI(Protocol):
+    """What the interpreter and translated code require of memory."""
+
+    def load(self, addr: int, size: int, signed: bool) -> int:
+        """Read ``size`` bytes; returns the 64-bit (sign/zero extended) value."""
+        ...
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        """Write the low ``size`` bytes of ``value``."""
+        ...
+
+    def fetch_code(self, addr: int, size: int) -> bytes:
+        """Instruction fetch (read-shared); used by the DBT frontend."""
+        ...
+
+    def load_reserved(self, cpu: "CPUState", addr: int) -> int:
+        """LL: 64-bit load plus reservation registration (§4.4)."""
+        ...
+
+    def store_conditional(self, cpu: "CPUState", addr: int, value: int) -> bool:
+        """SC: store iff the reservation survives; returns success."""
+        ...
+
+    def atomic_cas(self, cpu: "CPUState", addr: int, expected: int, desired: int) -> int:
+        """CAS: returns the old value; stores ``desired`` on match."""
+        ...
+
+    def atomic_add(self, cpu: "CPUState", addr: int, operand: int) -> int:
+        ...
+
+    def atomic_swap(self, cpu: "CPUState", addr: int, operand: int) -> int:
+        ...

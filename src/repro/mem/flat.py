@@ -1,0 +1,145 @@
+"""Flat (non-distributed) guest memory.
+
+Implements :class:`~repro.mem.api.MemoryAPI` with no coherence protocol:
+every page is local and writable.  Used by the DBT unit tests, the
+differential interpreter oracle, and the single-node QEMU baseline where the
+host hardware keeps memory coherent.
+
+LL/SC semantics follow the paper's intra-node scheme: a reservation table
+keyed by address; any store to a reserved address by *another* thread kills
+the reservation (conservative, like QEMU's emulation).  The store check is
+only performed while the table is non-empty — the paper makes the same
+observation that the LL→SC window is short so checks are rare (§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SegmentationFault, UnalignedAccess
+from repro.mem.api import M64, check_span, sign_extend
+from repro.mem.layout import PAGE_SIZE, page_of, page_offset
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dbt.cpu import CPUState
+
+__all__ = ["FlatMemory"]
+
+
+class FlatMemory:
+    """Sparse flat memory with auto-allocating pages."""
+
+    def __init__(self, *, auto_alloc: bool = True):
+        self._pages: dict[int, bytearray] = {}
+        self.auto_alloc = auto_alloc
+        # addr -> set of tids holding a valid LL reservation
+        self.reservations: dict[int, set[int]] = {}
+
+    # -- setup helpers --------------------------------------------------------
+
+    def load_image(self, segments) -> None:
+        """Copy ``(vaddr, bytes)`` segments (e.g. Program sections) in."""
+        for vaddr, data in segments:
+            self.write_bytes(vaddr, data)
+
+    def _page(self, page: int) -> bytearray:
+        buf = self._pages.get(page)
+        if buf is None:
+            if not self.auto_alloc:
+                raise SegmentationFault(f"unmapped page {page:#x}")
+            buf = bytearray(PAGE_SIZE)
+            self._pages[page] = buf
+        return buf
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            page = page_of(addr + pos)
+            off = page_offset(addr + pos)
+            n = min(PAGE_SIZE - off, len(data) - pos)
+            self._page(page)[off : off + n] = data[pos : pos + n]
+            pos += n
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        out = bytearray()
+        pos = 0
+        while pos < size:
+            page = page_of(addr + pos)
+            off = page_offset(addr + pos)
+            n = min(PAGE_SIZE - off, size - pos)
+            out += self._page(page)[off : off + n]
+            pos += n
+        return bytes(out)
+
+    # -- MemoryAPI ------------------------------------------------------------
+
+    def load(self, addr: int, size: int, signed: bool) -> int:
+        check_span(addr, size)
+        buf = self._page(page_of(addr))
+        off = page_offset(addr)
+        value = int.from_bytes(buf[off : off + size], "little")
+        if signed and size < 8:
+            return sign_extend(value, size)
+        return value
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        check_span(addr, size)
+        buf = self._page(page_of(addr))
+        off = page_offset(addr)
+        buf[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if self.reservations:
+            self._kill_reservations(addr, size)
+
+    def fetch_code(self, addr: int, size: int) -> bytes:
+        return self.read_bytes(addr, size)
+
+    # -- atomics ----------------------------------------------------------------
+
+    @staticmethod
+    def _check_atomic_alignment(addr: int) -> None:
+        if addr % 8 != 0:
+            raise UnalignedAccess(f"atomic access to unaligned address {addr:#x}", addr=addr)
+
+    def load_reserved(self, cpu: "CPUState", addr: int) -> int:
+        self._check_atomic_alignment(addr)
+        value = self.load(addr, 8, False)
+        self.reservations.setdefault(addr, set()).add(cpu.tid)
+        return value
+
+    def store_conditional(self, cpu: "CPUState", addr: int, value: int) -> bool:
+        self._check_atomic_alignment(addr)
+        holders = self.reservations.get(addr)
+        if not holders or cpu.tid not in holders:
+            return False
+        del self.reservations[addr]
+        self.store(addr, 8, value)
+        return True
+
+    def atomic_cas(self, cpu: "CPUState", addr: int, expected: int, desired: int) -> int:
+        self._check_atomic_alignment(addr)
+        old = self.load(addr, 8, False)
+        if old == (expected & M64):
+            self.store(addr, 8, desired)  # store() also kills reservations
+        return old
+
+    def atomic_add(self, cpu: "CPUState", addr: int, operand: int) -> int:
+        self._check_atomic_alignment(addr)
+        old = self.load(addr, 8, False)
+        self.store(addr, 8, (old + operand) & M64)
+        return old
+
+    def atomic_swap(self, cpu: "CPUState", addr: int, operand: int) -> int:
+        self._check_atomic_alignment(addr)
+        old = self.load(addr, 8, False)
+        self.store(addr, 8, operand & M64)
+        return old
+
+    # -- reservation bookkeeping -------------------------------------------------
+
+    def _kill_reservations(self, addr: int, size: int = 8) -> None:
+        """A store touching ``[addr, addr+size)`` conservatively kills every
+        reservation on the 8-byte cell(s) it overlaps, whoever stored."""
+        lo = addr & ~7
+        hi = (addr + size - 1) & ~7
+        for a in ((lo,) if lo == hi else (lo, hi)):
+            self.reservations.pop(a, None)

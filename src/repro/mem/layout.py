@@ -1,0 +1,51 @@
+"""Guest virtual address-space layout (paper Fig. 1).
+
+User-mode QEMU maps the whole guest address space into a contiguous host
+region; DQEMU unifies the guest regions of all instances into one distributed
+shared address space.  We keep the same fixed layout on every node so a guest
+virtual address means the same thing cluster-wide.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "TEXT_BASE",
+    "MMAP_BASE",
+    "SHADOW_BASE",
+    "STACK_TOP",
+    "MAIN_STACK_BYTES",
+    "page_of",
+    "page_base",
+    "page_offset",
+]
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4 KiB, as on the paper's testbed
+
+#: Where .text is linked (matches the assembler default).
+TEXT_BASE = 0x0001_0000
+
+#: Anonymous mmap region (thread stacks, malloc arenas) grows upward from here.
+MMAP_BASE = 0x4000_0000
+
+#: Guest space the master probes for shadow pages during page splitting (§5.1):
+#: "address region not used by the guest application".
+SHADOW_BASE = 0x6000_0000
+
+#: Main thread stack top (grows down).
+STACK_TOP = 0x7FFF_F000
+MAIN_STACK_BYTES = 1 << 20
+
+
+def page_of(addr: int) -> int:
+    return addr >> PAGE_SHIFT
+
+
+def page_base(page: int) -> int:
+    return page << PAGE_SHIFT
+
+
+def page_offset(addr: int) -> int:
+    return addr & (PAGE_SIZE - 1)

@@ -1,0 +1,24 @@
+"""MSI coherence states (paper §3.2).
+
+DQEMU uses a page-level, directory-based MSI protocol: each node's copy of a
+page is Modified, Shared or Invalid; the master's directory records the owner
+and sharer set per page.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MSIState"]
+
+
+class MSIState(enum.Enum):
+    MODIFIED = "M"
+    SHARED = "S"
+    INVALID = "I"
+
+    def readable(self) -> bool:
+        return self is not MSIState.INVALID
+
+    def writable(self) -> bool:
+        return self is MSIState.MODIFIED

@@ -1,0 +1,7 @@
+"""Simulated cluster interconnect: star-topology switch, NICs, protocol frames."""
+
+from repro.net.endpoint import Endpoint
+from repro.net.fabric import Fabric, FabricStats
+from repro.net import messages
+
+__all__ = ["Endpoint", "Fabric", "FabricStats", "messages"]

@@ -1,0 +1,100 @@
+"""Per-node network interface with RPC correlation and kind-based routing.
+
+Each DQEMU instance owns one :class:`Endpoint`.  Outbound messages are
+stamped with the node id; inbound messages are routed either to a pending
+RPC (``in_reply_to``) or to the subscriber queue for a routing key.  The
+default routing key is the message *kind*; the master overrides this to route
+each slave's requests to that slave's dedicated manager thread, mirroring the
+paper's one-manager-per-slave design (§4, Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+from repro.errors import NetworkError
+from repro.net.fabric import Fabric
+from repro.net.messages import Message
+from repro.sim.engine import Event, Simulator
+from repro.sim.sync import SimQueue
+
+__all__ = ["Endpoint"]
+
+
+class Endpoint:
+    """A node's NIC: send/request/reply plus subscriber queues."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, node_id: int):
+        self.sim = sim
+        self.fabric = fabric
+        self.node_id = node_id
+        self._pending: dict[int, Event] = {}
+        self._queues: dict[Hashable, SimQueue] = {}
+        self._route: Callable[[Message], Hashable] = lambda msg: msg.kind
+        self._default_queue: Optional[SimQueue] = None
+        fabric.attach(self)
+
+    # -- configuration ------------------------------------------------------
+
+    def set_router(self, route: Callable[[Message], Hashable]) -> None:
+        """Replace the routing-key function for non-reply inbound messages."""
+        self._route = route
+
+    def subscribe(self, key: Hashable) -> SimQueue:
+        """Queue receiving every inbound message whose routing key is ``key``."""
+        if key not in self._queues:
+            self._queues[key] = SimQueue(self.sim)
+        return self._queues[key]
+
+    def subscribe_default(self) -> SimQueue:
+        """Queue receiving inbound messages with no subscribed key."""
+        if self._default_queue is None:
+            self._default_queue = SimQueue(self.sim)
+        return self._default_queue
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, dst: int, msg: Message) -> None:
+        """Fire-and-forget transmission."""
+        msg.src = self.node_id
+        msg.dst = dst
+        self.fabric.transmit(msg)
+
+    def request(self, dst: int, msg: Message) -> Event:
+        """Send ``msg`` and return an event firing with the reply message."""
+        msg.src = self.node_id
+        msg.dst = dst
+        ev = Event(self.sim)
+        self._pending[msg.req_id] = ev
+        self.fabric.transmit(msg)
+        return ev
+
+    def reply(self, to: Message, msg: Message) -> None:
+        """Send ``msg`` as the reply correlated with request ``to``."""
+        msg.in_reply_to = to.req_id
+        self.send(to.src, msg)
+
+    # -- receiving (called by the fabric) ------------------------------------
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.in_reply_to:
+            ev = self._pending.pop(msg.in_reply_to, None)
+            if ev is None:
+                raise NetworkError(
+                    f"node {self.node_id}: reply to unknown request {msg.in_reply_to}"
+                )
+            ev.succeed(msg)
+            return
+        key = self._route(msg)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._default_queue
+        if queue is None:
+            raise NetworkError(
+                f"node {self.node_id}: no subscriber for key {key!r} (kind={msg.kind})"
+            )
+        queue.put(msg)
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)

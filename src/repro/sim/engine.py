@@ -1,0 +1,288 @@
+"""Discrete-event simulation kernel.
+
+The whole DQEMU reproduction runs on virtual time: guest execution, network
+transfers and protocol handling all advance a single simulated clock measured
+in nanoseconds.  The kernel is a small, deterministic event loop in the style
+of SimPy: *processes* are Python generators that ``yield`` events; the
+:class:`Simulator` owns a binary heap of ``(time, seq, event)`` entries and
+fires them in order.  Ties are broken by insertion sequence, which makes every
+run bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*, is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, and then invokes its callbacks when the
+    simulator processes it.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully after ``delay`` ns (default: now)."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self.sim._push(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._push(self, delay)
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self._processed:
+            # Late subscription: run on the next scheduling slot so the
+            # callback still observes a consistent "after the event" world.
+            stub = Event(self.sim)
+            stub.callbacks.append(lambda _e: cb(self))
+            stub._triggered = True
+            stub._value = self._value
+            stub._ok = True
+            self.sim._push(stub, 0)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._push(self, delay)
+
+
+class Process(Event):
+    """A generator-driven simulation process.
+
+    The generator yields :class:`Event` instances; the process resumes when
+    the yielded event fires (receiving its value via ``send``, or its
+    exception via ``throw``).  The process *is itself an event* that triggers
+    when the generator returns, carrying the return value, so processes can
+    wait on one another.
+    """
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any], name: str = "?"):
+        super().__init__(sim)
+        self._gen = gen
+        self.name = name
+        # Kick off the generator on the next scheduling slot.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start._triggered = True
+        sim._push(start, 0)
+
+    def _resume(self, trigger: Event) -> None:
+        try:
+            if trigger.ok:
+                target = self._gen.send(trigger.value)
+            else:
+                target = self._gen.throw(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # propagate crash to waiters
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(SimulationError(f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        target.add_callback(self._resume)
+
+    def interrupt(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at the next scheduling slot."""
+        kick = Event(self.sim)
+        kick.callbacks.append(self._resume)
+        kick._triggered = True
+        kick._ok = False
+        kick._value = exc
+        self.sim._push(kick, 0)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values: list[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda e, i=i: self._child(i, e))
+
+    def _child(self, i: int, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._values[i] = ev.value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._values)
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda e, i=i: self._child(i, e))
+
+    def _child(self, i: int, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+        else:
+            self.succeed((i, ev.value))
+
+
+class Simulator:
+    """Deterministic discrete-event loop with an integer nanosecond clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _push(self, event: Event, delay: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + int(delay), self._seq, event))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, int(delay), value)
+
+    def spawn(self, gen: Generator[Event, Any, Any], name: str = "?") -> Process:
+        """Register a generator as a new process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- main loop ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+        if not event.ok and not callbacks and not isinstance(event, Process):
+            # A failed event nobody waited on would silently swallow the
+            # exception; surface it instead.
+            raise event.value
+
+    def run(self, until: Optional[Event | int] = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        ``until`` may be an :class:`Event` (returns its value; raises if it
+        failed) or an integer virtual-time deadline in ns.
+        """
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation deadlocked at t={self.now} ns waiting for event"
+                    )
+                self.step()
+            if not until.ok:
+                raise until.value
+            return until.value
+        deadline = None if until is None else int(until)
+        while self._heap:
+            if deadline is not None and self._heap[0][0] > deadline:
+                self.now = deadline
+                return None
+            self.step()
+        if deadline is not None:
+            self.now = deadline
+        return None

@@ -1,0 +1,24 @@
+"""Guest workloads: the paper's microbenchmarks and PARSEC-like programs."""
+
+from repro.workloads import (
+    blackscholes,
+    fluidanimate,
+    memaccess,
+    mutex_bench,
+    pi_taylor,
+    swaptions,
+    x264,
+)
+from repro.workloads.common import emit_fanout_main, workload_builder
+
+__all__ = [
+    "blackscholes",
+    "emit_fanout_main",
+    "fluidanimate",
+    "memaccess",
+    "mutex_bench",
+    "pi_taylor",
+    "swaptions",
+    "workload_builder",
+    "x264",
+]

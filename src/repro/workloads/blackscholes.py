@@ -1,0 +1,173 @@
+"""PARSEC blackscholes-like workload (paper Fig. 7, left).
+
+Data-parallel option pricing: each thread prices a contiguous slice of the
+option portfolio.  Good locality, light sharing, regular sequential reads —
+the paper's best-scaling benchmark, and the one data forwarding (§5.2)
+accelerates most.
+
+Substitution note (DESIGN.md): GA64 has no ``exp``/``ln``; the cumulative
+normal is replaced by the algebraic sigmoid ``N(x) = 0.5 * (1 + x /
+sqrt(2 + x*x))`` and ``d1`` uses a log-free moneyness ``S/K - 1``.  The
+memory/compute *shape* (stream reads, ~35 FLOPs/option, slice-private
+writes) matches; :func:`reference` replicates the arithmetic bit-exactly
+for validation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dbt.fpu import f2b
+from repro.isa.program import Program
+from repro.workloads.common import emit_fanout_main, workload_builder
+
+__all__ = ["build", "make_options", "reference", "reference_output"]
+
+
+def make_options(n_options: int) -> list[tuple[float, float, float, float]]:
+    """Deterministic option portfolio (S, K, T, v)."""
+    out = []
+    for j in range(n_options):
+        s = 80.0 + (j * 13) % 40
+        k = 90.0 + (j * 7) % 30
+        t = 0.25 + (j % 8) * 0.25
+        v = 0.10 + (j % 10) * 0.05
+        out.append((s, k, t, v))
+    return out
+
+
+def _price(s: float, k: float, t: float, v: float) -> float:
+    """Bit-exact Python replica of the guest kernel (same op order)."""
+    sqrt_t = math.sqrt(t)
+    vs = v * sqrt_t
+    d1 = (s / k - 1.0 + ((v * v) * t) * 0.5) / vs
+    d2 = d1 - vs
+
+    def ncdf(x: float) -> float:
+        return (x / math.sqrt(2.0 + x * x) + 1.0) * 0.5
+
+    price = s * ncdf(d1) - k * ncdf(d2)
+    return price if price > 0.0 else 0.0
+
+
+def reference(n_options: int) -> float:
+    total = 0.0
+    for s, k, t, v in make_options(n_options):
+        total = total + _price(s, k, t, v)
+    return total
+
+
+def reference_output(n_options: int) -> str:
+    return f"{int(reference(n_options) * 100.0)}\n"
+
+
+def build(n_threads: int = 32, n_options: int = 1024, reps: int = 1) -> Program:
+    """``reps`` re-prices every option (same result) — a compute-intensity
+    knob that scales FLOPs without growing the dataset, used to match the
+    paper's compute:data ratio at scaled-down option counts."""
+    if n_options % n_threads:
+        raise ValueError("n_options must divide evenly over n_threads")
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    chunk = n_options // n_threads
+    b = workload_builder()
+
+    def post_join(bb):
+        bb.comment("sum all prices; print trunc(sum * 100)")
+        bb.la("t0", "results")
+        bb.li("t1", 0)
+        bb.movz("t2", 0, 0)  # 0.0
+        bb.label(".bs_sum")
+        bb.slli("t3", "t1", 3)
+        bb.add("t3", "t3", "t0")
+        bb.ld("t4", 0, "t3")
+        bb.fadd("t2", "t2", "t4")
+        bb.addi("t1", "t1", 1)
+        bb.li("t5", n_options)
+        bb.blt("t1", "t5", ".bs_sum")
+        bb.li("t5", f2b(100.0))
+        bb.fmul("t2", "t2", "t5")
+        bb.fcvt_l_d("a0", "t2")
+        bb.call("rt_print_u64_ln")
+        bb.li("a0", 0)
+
+    emit_fanout_main(b, n_threads, post_join=post_join)
+
+    b.comment("worker(i): price options [i*chunk, (i+1)*chunk), reps times")
+    b.label("worker")
+    b.li("t0", chunk)
+    b.mul("t1", "a0", "t0")  # j = i*chunk
+    b.add("t2", "t1", "t0")  # end
+    b.mv("s10", "t1")  # slice start (worker is a leaf: s10/s11 are ours)
+    b.mv("a1", "t2")
+    b.li("s9", reps)
+    b.label(".bs_rep")
+    b.mv("a0", "s10")
+    # FP constants live in registers across the loop (no calls inside)
+    b.li("a6", f2b(1.0))
+    b.li("a7", f2b(2.0))
+    b.li("s11", f2b(0.5))  # s11 is ours: worker never calls out
+    b.label(".bs_loop")
+    b.comment("load option j: S,K,T,v")
+    b.la("t0", "options")
+    b.slli("t1", "a0", 5)  # j * 32
+    b.add("t0", "t0", "t1")
+    b.ld("a2", 0, "t0")  # S
+    b.ld("a3", 8, "t0")  # K
+    b.ld("a4", 16, "t0")  # T
+    b.ld("a5", 24, "t0")  # v
+    b.fsqrt("t1", "a4")  # sqrt(T)
+    b.fmul("t1", "a5", "t1")  # vs = v*sqrt(T)
+    b.fdiv("t2", "a2", "a3")  # S/K
+    b.fsub("t2", "t2", "a6")  # - 1.0
+    b.fmul("t3", "a5", "a5")  # v*v
+    b.fmul("t3", "t3", "a4")  # * T
+    b.fmul("t3", "t3", "s11")  # * 0.5
+    b.fadd("t2", "t2", "t3")
+    b.fdiv("t2", "t2", "t1")  # d1
+    b.fsub("t3", "t2", "t1")  # d2 = d1 - vs
+    # N(d1) -> t4
+    b.fmul("t4", "t2", "t2")
+    b.fadd("t4", "t4", "a7")
+    b.fsqrt("t4", "t4")
+    b.fdiv("t4", "t2", "t4")
+    b.fadd("t4", "t4", "a6")
+    b.fmul("t4", "t4", "s11")
+    # N(d2) -> t5
+    b.fmul("t5", "t3", "t3")
+    b.fadd("t5", "t5", "a7")
+    b.fsqrt("t5", "t5")
+    b.fdiv("t5", "t3", "t5")
+    b.fadd("t5", "t5", "a6")
+    b.fmul("t5", "t5", "s11")
+    # price = max(S*N(d1) - K*N(d2), 0)
+    b.fmul("t4", "a2", "t4")
+    b.fmul("t5", "a3", "t5")
+    b.fsub("t4", "t4", "t5")
+    b.movz("t5", 0, 0)  # 0.0
+    b.flt("t6", "t5", "t4")  # price > 0 ?
+    b.bnez("t6", ".bs_store")
+    b.mv("t4", "t5")
+    b.label(".bs_store")
+    b.la("t0", "results")
+    b.slli("t1", "a0", 3)
+    b.add("t0", "t0", "t1")
+    b.sd("t4", 0, "t0")
+    b.addi("a0", "a0", 1)
+    b.blt("a0", "a1", ".bs_loop")
+    b.addi("s9", "s9", -1)
+    b.bnez("s9", ".bs_rep")
+    b.li("a0", 0)
+    b.ret()
+
+    b.data()
+    b.align(4096)
+    b.label("options")
+    for s, k, t, v in make_options(n_options):
+        b.quad(f2b(s), f2b(k), f2b(t), f2b(v))
+    b.bss()
+    b.align(4096)
+    b.label("results")
+    b.space(8 * n_options)
+    b.text()
+    return b.assemble()

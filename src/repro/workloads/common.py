@@ -1,0 +1,104 @@
+"""Shared guest-program scaffolding for workloads.
+
+Every benchmark in the paper follows the same skeleton: the main thread
+spawns N workers, waits for them, and reports a result.  These emitters
+generate that skeleton in GA64 assembly against the guest runtime library,
+with optional scheduling hints (paper §5.3) announced before each create.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.guestlib.runtime import emit_runtime
+from repro.isa.builder import AsmBuilder
+
+__all__ = ["emit_fanout_main", "workload_builder", "HintSpec"]
+
+#: ("mod", G): group = i % G — stripes threads over G groups.
+#: ("div", B): group = i // B — B consecutive threads per group (block).
+HintSpec = Optional[tuple[str, int]]
+
+
+def workload_builder() -> AsmBuilder:
+    """Builder pre-loaded with the guest runtime."""
+    b = AsmBuilder()
+    emit_runtime(b)
+    return b
+
+
+def emit_fanout_main(
+    b: AsmBuilder,
+    n_threads: int,
+    *,
+    worker: str = "worker",
+    hint: HintSpec = None,
+    pre_create: Optional[Callable[[AsmBuilder], None]] = None,
+    post_join: Optional[Callable[[AsmBuilder], None]] = None,
+) -> AsmBuilder:
+    """Emit ``main``: spawn ``n_threads`` workers (a0 = thread index), join
+    them all, then run ``post_join`` (which may set a0 as the exit status).
+
+    ``hint=("mod", G)`` or ``("div", B)`` emits a ``hint`` instruction before
+    each create so the master's locality-aware scheduler can group threads.
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    b.comment(f"main: fan out {n_threads} x {worker}, join, finish")
+    b.label("main")
+    b.addi("sp", "sp", -32)
+    b.sd("ra", 24, "sp")
+    b.sd("s0", 16, "sp")
+    b.sd("s1", 8, "sp")
+    if pre_create:
+        pre_create(b)
+    b.li("s0", 0)
+    b.label(".main_create")
+    if hint is not None:
+        mode, param = hint
+        b.li("t0", param)
+        if mode == "mod":
+            b.remu("t6", "s0", "t0")
+        elif mode == "div":
+            b.divu("t6", "s0", "t0")
+        else:
+            raise ValueError(f"unknown hint mode {mode!r}")
+        b.hint("t6")
+    b.la("a0", worker)
+    b.mv("a1", "s0")
+    b.call("rt_thread_create")
+    b.la("t0", ".main_handles")
+    b.slli("t1", "s0", 3)
+    b.add("t0", "t0", "t1")
+    b.sd("a0", 0, "t0")
+    b.addi("s0", "s0", 1)
+    b.li("t2", n_threads)
+    b.blt("s0", "t2", ".main_create")
+
+    b.li("s0", 0)
+    b.label(".main_join")
+    b.la("t0", ".main_handles")
+    b.slli("t1", "s0", 3)
+    b.add("t0", "t0", "t1")
+    b.ld("a0", 0, "t0")
+    b.call("rt_join")
+    b.addi("s0", "s0", 1)
+    b.li("t2", n_threads)
+    b.blt("s0", "t2", ".main_join")
+
+    if post_join:
+        post_join(b)
+    else:
+        b.li("a0", 0)
+    b.ld("ra", 24, "sp")
+    b.ld("s0", 16, "sp")
+    b.ld("s1", 8, "sp")
+    b.addi("sp", "sp", 32)
+    b.ret()
+
+    b.bss()
+    b.align(8)
+    b.label(".main_handles")
+    b.space(8 * n_threads)
+    b.text()
+    return b

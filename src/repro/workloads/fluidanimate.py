@@ -1,0 +1,147 @@
+"""PARSEC fluidanimate-like workload (paper Fig. 8, right).
+
+fluidanimate divides a large matrix into a grid of blocks, one per thread;
+every iteration the threads exchange boundary data with their neighbours
+and synchronize (§6.1.2).  The paper groups threads by their block position
+so neighbours land on the same node.
+
+Model: a 1-D chain of ``n_threads`` blocks (one page each).  Per iteration,
+each thread reads its left and right neighbours' edge cells, updates its
+whole block, and crosses a barrier.  With ``hint=("div", B)`` consecutive
+blocks co-locate and only group-edge pairs cross nodes.
+
+:func:`reference` replicates the integer stencil exactly for validation.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.common import HintSpec, emit_fanout_main, workload_builder
+
+__all__ = ["build", "reference", "reference_output"]
+
+M64 = (1 << 64) - 1
+QWORDS_PER_BLOCK = 512  # one page
+
+
+def reference(n_threads: int, iters: int) -> int:
+    """Total checksum over all blocks after `iters` stencil rounds."""
+    q = QWORDS_PER_BLOCK
+    blocks = [[(b * q + k) & M64 for k in range(q)] for b in range(n_threads)]
+    for _ in range(iters):
+        lefts = [blocks[b - 1][q - 1] if b > 0 else 0 for b in range(n_threads)]
+        rights = [blocks[b + 1][0] if b < n_threads - 1 else 0 for b in range(n_threads)]
+        for bidx in range(n_threads):
+            edge = (lefts[bidx] + rights[bidx]) & M64
+            blk = blocks[bidx]
+            for k in range(q):
+                blk[k] = (blk[k] + edge + k) & M64
+    return sum(sum(blk) for blk in blocks) & M64
+
+
+def reference_output(n_threads: int, iters: int) -> str:
+    return f"{reference(n_threads, iters)}\n"
+
+
+def build(n_threads: int = 128, iters: int = 4, hint: HintSpec = None) -> Program:
+    q = QWORDS_PER_BLOCK
+    b = workload_builder()
+
+    def pre_create(bb):
+        bb.comment("init blocks: blocks[b][k] = b*512 + k; init barrier")
+        bb.la("t0", "blocks")
+        bb.li("t1", 0)
+        bb.li("t2", n_threads * q)
+        bb.label(".fl_init")
+        bb.slli("t3", "t1", 3)
+        bb.add("t3", "t3", "t0")
+        bb.sd("t1", 0, "t3")
+        bb.addi("t1", "t1", 1)
+        bb.blt("t1", "t2", ".fl_init")
+        bb.la("a0", "bar")
+        bb.li("a1", n_threads)
+        bb.call("rt_barrier_init")
+
+    def post_join(bb):
+        bb.la("t0", "blocks")
+        bb.li("t1", 0)
+        bb.li("t2", n_threads * q)
+        bb.li("t6", 0)
+        bb.label(".fl_sum")
+        bb.slli("t3", "t1", 3)
+        bb.add("t3", "t3", "t0")
+        bb.ld("t4", 0, "t3")
+        bb.add("t6", "t6", "t4")
+        bb.addi("t1", "t1", 1)
+        bb.blt("t1", "t2", ".fl_sum")
+        bb.mv("a0", "t6")
+        bb.call("rt_print_u64_ln")
+        bb.li("a0", 0)
+
+    emit_fanout_main(b, n_threads, hint=hint, pre_create=pre_create, post_join=post_join)
+
+    b.comment("worker(b): iterate { read neighbour edges, update block, barrier }")
+    b.label("worker")
+    b.addi("sp", "sp", -40)
+    b.sd("ra", 32, "sp")
+    b.sd("s0", 24, "sp")
+    b.sd("s1", 16, "sp")
+    b.sd("s2", 8, "sp")
+    b.sd("s3", 0, "sp")
+    b.mv("s0", "a0")  # block index
+    b.li("t0", 4096)
+    b.mul("t0", "s0", "t0")
+    b.la("s1", "blocks")
+    b.add("s1", "s1", "t0")  # my block base
+    b.li("s2", iters)
+    b.label(".fl_round")
+    b.comment("edge = left neighbour's last qword + right neighbour's first")
+    b.li("s3", 0)
+    b.beqz("s0", ".fl_no_left")
+    b.ld("t1", -8, "s1")  # blocks[b-1][511] is just below my base
+    b.add("s3", "s3", "t1")
+    b.label(".fl_no_left")
+    b.li("t2", n_threads - 1)
+    b.bge("s0", "t2", ".fl_no_right")
+    b.li("t3", 4096)
+    b.add("t3", "s1", "t3")
+    b.ld("t1", 0, "t3")  # blocks[b+1][0]
+    b.add("s3", "s3", "t1")
+    b.label(".fl_no_right")
+    b.comment("Jacobi step: everyone reads pre-round edges before any update")
+    b.la("a0", "bar")
+    b.call("rt_barrier_wait")
+    b.comment("update: blk[k] += edge + k")
+    b.li("t2", 0)
+    b.label(".fl_upd")
+    b.slli("t3", "t2", 3)
+    b.add("t3", "t3", "s1")
+    b.ld("t4", 0, "t3")
+    b.add("t4", "t4", "s3")
+    b.add("t4", "t4", "t2")
+    b.sd("t4", 0, "t3")
+    b.addi("t2", "t2", 1)
+    b.li("t5", q)
+    b.blt("t2", "t5", ".fl_upd")
+    b.la("a0", "bar")
+    b.call("rt_barrier_wait")
+    b.addi("s2", "s2", -1)
+    b.bnez("s2", ".fl_round")
+    b.li("a0", 0)
+    b.ld("ra", 32, "sp")
+    b.ld("s0", 24, "sp")
+    b.ld("s1", 16, "sp")
+    b.ld("s2", 8, "sp")
+    b.ld("s3", 0, "sp")
+    b.addi("sp", "sp", 40)
+    b.ret()
+
+    b.bss()
+    b.align(4096)
+    b.label("blocks")
+    b.space(n_threads * 4096)
+    b.align(4096)
+    b.label("bar")
+    b.space(24)
+    b.text()
+    return b.assemble()

@@ -1,0 +1,89 @@
+"""Fig. 5 microbenchmark: π by Taylor (Leibniz) series, embarrassingly parallel.
+
+The paper's scalability study: the main thread creates N threads (120 in the
+paper); each computes π with a Taylor series 64 K times with *no* data
+sharing (only a join barrier at the end).  Iteration counts are scaled via
+parameters; the computation itself is bit-exact reproducible in Python
+(:func:`reference`), which the tests use to validate results end-to-end.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.common import emit_fanout_main, workload_builder
+
+__all__ = ["build", "reference", "reference_output"]
+
+
+def build(n_threads: int = 120, terms: int = 200, reps: int = 4) -> Program:
+    """Each worker computes the ``terms``-term Leibniz series ``reps`` times
+    and stores the result (double bits) in ``results[i]``; main prints
+    ``trunc(results[0] * 1e9)`` for validation."""
+    b = workload_builder()
+
+    def post_join(bb):
+        bb.la("t0", "results")
+        bb.ld("t1", 0, "t0")  # pi bits from thread 0
+        bb.li("t2", 1_000_000_000)
+        bb.fcvt_d_l("t2", "t2")
+        bb.fmul("t1", "t1", "t2")
+        bb.fcvt_l_d("a0", "t1")
+        bb.call("rt_print_u64_ln")
+        bb.li("a0", 0)
+
+    emit_fanout_main(b, n_threads, post_join=post_join)
+
+    b.comment("worker(i): acc = sum_k 4*(-1)^k/(2k+1), repeated `reps` times")
+    b.label("worker")
+    b.mv("a1", "a0")  # index
+    b.li("a2", reps)
+    b.label(".pi_outer")
+    b.movz("t1", 0, 0)  # acc = +0.0
+    b.li("t3", 4)
+    b.fcvt_d_l("t3", "t3")  # 4.0
+    b.li("t2", 0)  # k
+    b.li("t4", terms)
+    b.label(".pi_inner")
+    b.slli("t5", "t2", 1)
+    b.addi("t5", "t5", 1)  # 2k+1
+    b.fcvt_d_l("t5", "t5")
+    b.fdiv("t5", "t3", "t5")  # 4/(2k+1)
+    b.andi("t6", "t2", 1)
+    b.bnez("t6", ".pi_sub")
+    b.fadd("t1", "t1", "t5")
+    b.j(".pi_next")
+    b.label(".pi_sub")
+    b.fsub("t1", "t1", "t5")
+    b.label(".pi_next")
+    b.addi("t2", "t2", 1)
+    b.blt("t2", "t4", ".pi_inner")
+    b.addi("a2", "a2", -1)
+    b.bnez("a2", ".pi_outer")
+    b.comment("results[i] = acc bits")
+    b.la("t0", "results")
+    b.slli("t2", "a1", 3)
+    b.add("t0", "t0", "t2")
+    b.sd("t1", 0, "t0")
+    b.li("a0", 0)
+    b.ret()
+
+    b.bss()
+    b.align(4096)  # keep per-thread result slots off other data structures
+    b.label("results")
+    b.space(8 * n_threads)
+    b.text()
+    return b.assemble()
+
+
+def reference(terms: int = 200) -> float:
+    """Bit-exact Python replica of the worker's series."""
+    acc = 0.0
+    for k in range(terms):
+        term = 4.0 / float(2 * k + 1)
+        acc = acc + term if k % 2 == 0 else acc - term
+    return acc
+
+
+def reference_output(terms: int = 200) -> str:
+    """Expected stdout of the program built with the same ``terms``."""
+    return f"{int(reference(terms) * 1e9)}\n"

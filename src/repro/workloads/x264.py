@@ -1,0 +1,197 @@
+"""PARSEC x264-like workload (paper Fig. 8, left).
+
+x264 encodes a frame stream with a fork-join pipeline; encoding a dependent
+frame reads the previous frame's reconstruction — heavy *true* sharing.
+The paper modifies x264 to divide frames into independent groups bound to
+threads and inserts grouping hints (§6.1.2, "affecting less than 1 % of the
+lines"), so the hint-based locality-aware scheduler can keep a group's
+frames on one node.
+
+Model here: ``n_frames`` threads, one per frame.  Frames form groups of
+``group_size`` (a GOP).  Each non-leader frame waits for its predecessor's
+"done" flag, checksums the predecessor's reconstruction buffer (the
+reference-frame read), then computes its own buffer and publishes its flag.
+With ``hint=("div", group_size)`` a group is co-located and the reference
+read is node-local; under round-robin every reference read crosses nodes.
+
+:func:`reference` replicates the integer kernel exactly for validation.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.kernel.sysnums import SYS
+from repro.workloads.common import HintSpec, emit_fanout_main, workload_builder
+
+__all__ = ["build", "reference", "reference_output"]
+
+M64 = (1 << 64) - 1
+QWORDS_PER_PAGE = 512
+
+
+def reference(n_frames: int, group_size: int, pages_per_frame: int) -> int:
+    """Sum of the final checksum of each group's last frame (mod 2^64)."""
+    qwords = pages_per_frame * QWORDS_PER_PAGE
+    frames = [[0] * qwords for _ in range(n_frames)]
+    for f in range(n_frames):
+        if f % group_size == 0:
+            ref = 0
+        else:
+            ref = sum(frames[f - 1]) & M64
+        for k in range(qwords):
+            frames[f][k] = (ref + (f + 1) * k + k * k) & M64
+    total = 0
+    for g in range(0, n_frames, group_size):
+        last = min(g + group_size, n_frames) - 1
+        total = (total + sum(frames[last])) & M64
+    return total
+
+
+def reference_output(n_frames: int, group_size: int, pages_per_frame: int) -> str:
+    return f"{reference(n_frames, group_size, pages_per_frame)}\n"
+
+
+FLAG_STRIDE = 4096  # one page per done-flag: frame sync vars don't false-share
+
+
+def build(
+    n_frames: int = 128,
+    group_size: int = 8,
+    pages_per_frame: int = 2,
+    passes: int = 1,
+    hint: HintSpec = None,
+) -> Program:
+    """``passes`` repeats the (idempotent) encode loop — a compute-intensity
+    knob to reach the paper's execute:pagefault balance at small frames."""
+    if n_frames % group_size:
+        raise ValueError("n_frames must divide evenly into groups")
+    if passes < 1:
+        raise ValueError("passes must be >= 1")
+    qwords = pages_per_frame * QWORDS_PER_PAGE
+    frame_bytes = pages_per_frame * 4096
+    b = workload_builder()
+
+    def post_join(bb):
+        bb.comment("sum the checksum of each group's last frame")
+        bb.li("s0", group_size - 1)  # frame index of current group's last
+        bb.li("s1", 0)  # acc
+        bb.label(".xf_sum_groups")
+        bb.li("t0", frame_bytes)
+        bb.mul("t0", "s0", "t0")
+        bb.la("t1", "framebufs")
+        bb.add("t1", "t1", "t0")
+        bb.li("t2", 0)
+        bb.label(".xf_sum_frame")
+        bb.slli("t3", "t2", 3)
+        bb.add("t3", "t3", "t1")
+        bb.ld("t4", 0, "t3")
+        bb.add("s1", "s1", "t4")
+        bb.addi("t2", "t2", 1)
+        bb.li("t5", qwords)
+        bb.blt("t2", "t5", ".xf_sum_frame")
+        bb.addi("s0", "s0", group_size)
+        bb.li("t5", n_frames)
+        bb.blt("s0", "t5", ".xf_sum_groups")
+        bb.mv("a0", "s1")
+        bb.call("rt_print_u64_ln")
+        bb.li("a0", 0)
+
+    emit_fanout_main(b, n_frames, hint=hint, post_join=post_join)
+
+    b.comment("worker(f): wait for frame f-1 (within group), encode, publish")
+    b.label("worker")
+    b.addi("sp", "sp", -40)
+    b.sd("ra", 32, "sp")
+    b.sd("s0", 24, "sp")
+    b.sd("s1", 16, "sp")
+    b.sd("s2", 8, "sp")
+    b.sd("s3", 0, "sp")
+    b.mv("s0", "a0")  # frame id
+    b.li("t0", group_size)
+    b.remu("t1", "s0", "t0")
+    b.li("s1", 0)  # ref checksum (group leader: 0)
+    b.beqz("t1", ".xf_compute")
+    b.comment("wait for predecessor's done flag (futex)")
+    b.la("s2", "flags")
+    b.addi("t2", "s0", -1)
+    b.li("t3", FLAG_STRIDE)
+    b.mul("t2", "t2", "t3")
+    b.add("s2", "s2", "t2")
+    b.label(".xf_wait")
+    b.ld("t0", 0, "s2")
+    b.bnez("t0", ".xf_ref")
+    b.mv("a0", "s2")
+    b.li("a1", 0)  # FUTEX_WAIT
+    b.li("a2", 0)
+    b.li("a7", SYS.FUTEX)
+    b.ecall()
+    b.j(".xf_wait")
+    b.label(".xf_ref")
+    b.comment("reference read: checksum the previous frame's buffer")
+    b.addi("t0", "s0", -1)
+    b.li("t1", frame_bytes)
+    b.mul("t0", "t0", "t1")
+    b.la("t1", "framebufs")
+    b.add("t1", "t1", "t0")
+    b.li("t2", 0)
+    b.label(".xf_refsum")
+    b.slli("t3", "t2", 3)
+    b.add("t3", "t3", "t1")
+    b.ld("t4", 0, "t3")
+    b.add("s1", "s1", "t4")
+    b.addi("t2", "t2", 1)
+    b.li("t5", qwords)
+    b.blt("t2", "t5", ".xf_refsum")
+    b.label(".xf_compute")
+    b.comment(f"encode ({passes} passes): buf[k] = ref + (f+1)*k + k*k")
+    b.li("t0", frame_bytes)
+    b.mul("t0", "s0", "t0")
+    b.la("t1", "framebufs")
+    b.add("t1", "t1", "t0")  # my buffer
+    b.addi("t6", "s0", 1)  # f+1
+    b.li("s3", passes)
+    b.label(".xf_pass")
+    b.li("t2", 0)
+    b.label(".xf_enc")
+    b.mul("t3", "t6", "t2")
+    b.mul("t4", "t2", "t2")
+    b.add("t3", "t3", "t4")
+    b.add("t3", "t3", "s1")
+    b.slli("t4", "t2", 3)
+    b.add("t4", "t4", "t1")
+    b.sd("t3", 0, "t4")
+    b.addi("t2", "t2", 1)
+    b.li("t5", qwords)
+    b.blt("t2", "t5", ".xf_enc")
+    b.addi("s3", "s3", -1)
+    b.bnez("s3", ".xf_pass")
+    b.comment("publish: flags[f] = 1, wake any waiter")
+    b.la("t0", "flags")
+    b.li("t1", FLAG_STRIDE)
+    b.mul("t1", "s0", "t1")
+    b.add("s2", "t0", "t1")
+    b.li("t2", 1)
+    b.sd("t2", 0, "s2")
+    b.mv("a0", "s2")
+    b.li("a1", 1)  # FUTEX_WAKE
+    b.li("a2", 64)
+    b.li("a7", SYS.FUTEX)
+    b.ecall()
+    b.li("a0", 0)
+    b.ld("ra", 32, "sp")
+    b.ld("s0", 24, "sp")
+    b.ld("s1", 16, "sp")
+    b.ld("s2", 8, "sp")
+    b.ld("s3", 0, "sp")
+    b.addi("sp", "sp", 40)
+    b.ret()
+
+    b.bss()
+    b.align(4096)
+    b.label("framebufs")
+    b.space(n_frames * frame_bytes)
+    b.align(4096)
+    b.label("flags")
+    b.space(FLAG_STRIDE * n_frames)
+    b.text()
+    return b.assemble()

@@ -1,0 +1,114 @@
+"""Cluster-level differential testing.
+
+Property: for any guest program, a DQEMU cluster of any size produces
+exactly the output of the single-node QEMU baseline — the DSM, delegation
+and optimization layers must be semantically invisible.  Hypothesis
+generates random fan-out programs (random per-thread arithmetic, shared
+atomic accumulation, optional locks) and runs them on both.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Cluster, DQEMUConfig
+from repro.baselines import run_qemu
+from repro.workloads.common import emit_fanout_main, workload_builder
+
+LONG = dict(max_virtual_ms=600_000)
+
+M64 = 2**64 - 1
+
+
+@st.composite
+def fanout_programs(draw):
+    """A random fan-out program plus its expected stdout."""
+    n_threads = draw(st.integers(2, 6))
+    iters = draw(st.integers(1, 40))
+    mul = draw(st.integers(1, 1000))
+    add = draw(st.integers(0, 1000))
+    use_lock = draw(st.booleans())
+
+    b = workload_builder()
+
+    def post_join(bb):
+        bb.la("a0", "acc")
+        bb.ld("a0", 0, "a0")
+        bb.call("rt_print_u64_ln")
+        bb.li("a0", 0)
+
+    emit_fanout_main(b, n_threads, post_join=post_join)
+    b.label("worker")
+    b.addi("sp", "sp", -24)
+    b.sd("ra", 16, "sp")
+    b.sd("s0", 8, "sp")
+    b.sd("s1", 0, "sp")
+    b.mv("s1", "a0")  # thread index
+    b.li("s0", iters)
+    b.label(".w_loop")
+    # v = (index * mul + add + loop) — deterministic per-thread contribution
+    b.li("t0", mul)
+    b.mul("t0", "s1", "t0")
+    b.addi("t0", "t0", add)
+    b.add("t0", "t0", "s0")
+    if use_lock:
+        b.la("a0", "lock")
+        b.call("rt_mutex_lock")
+        b.li("t0", mul)  # recompute: t-regs clobbered by the call
+        b.mul("t0", "s1", "t0")
+        b.addi("t0", "t0", add)
+        b.add("t0", "t0", "s0")
+        b.la("t1", "acc")
+        b.ld("t2", 0, "t1")
+        b.add("t2", "t2", "t0")
+        b.sd("t2", 0, "t1")
+        b.la("a0", "lock")
+        b.call("rt_mutex_unlock")
+    else:
+        b.la("t1", "acc")
+        b.amoadd("t2", "t0", "t1")
+    b.addi("s0", "s0", -1)
+    b.bnez("s0", ".w_loop")
+    b.li("a0", 0)
+    b.ld("ra", 16, "sp")
+    b.ld("s0", 8, "sp")
+    b.ld("s1", 0, "sp")
+    b.addi("sp", "sp", 24)
+    b.ret()
+    b.data()
+    b.align(8)
+    b.label("acc").quad(0)
+    b.label("lock").quad(0)
+
+    expected = 0
+    for i in range(n_threads):
+        for k in range(iters, 0, -1):
+            expected = (expected + i * mul + add + k) & M64
+    return b.assemble(), f"{expected}\n", n_threads
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(fanout_programs(), st.integers(1, 4))
+def test_dqemu_matches_qemu_baseline(case, n_slaves):
+    prog, expected, _ = case
+    qemu = run_qemu(prog, **LONG)
+    dqemu = Cluster(n_slaves).run(prog, **LONG)
+    assert qemu.stdout == expected
+    assert dqemu.stdout == expected
+    assert dqemu.exit_code == qemu.exit_code == 0
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(fanout_programs())
+def test_optimizations_are_semantically_invisible(case):
+    prog, expected, _ = case
+    cfg = DQEMUConfig(
+        forwarding_enabled=True,
+        splitting_enabled=True,
+        splitting_trigger=4,
+        scheduler="hint",
+        quantum_cycles=5_000,
+    )
+    r = Cluster(3, cfg).run(prog, **LONG)
+    assert r.stdout == expected

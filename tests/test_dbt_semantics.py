@@ -1,0 +1,416 @@
+"""Instruction-semantics tests, run in BOTH engine modes.
+
+Each program ends at an ecall; results are read out of registers.  Running
+every case through the interpreter and the DBT keeps the two in lock-step.
+"""
+
+import math
+import struct
+
+import pytest
+
+from repro.dbt.fpu import b2f, f2b
+from repro.mem import STACK_TOP
+
+pytestmark = pytest.mark.parametrize("mode", ["dbt", "interp"])
+
+A0, A1, A2 = 10, 11, 12
+T0 = 5
+
+
+def test_arithmetic_basics(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li a0, 20
+          li a1, 22
+          add a0, a0, a1
+          ecall
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[A0] == 42
+
+
+def test_sub_wraps_unsigned(run, mode):
+    cpu, _, _ = run("_start:\n li a0, 1\n li a1, 2\n sub a0, a0, a1\n ecall\n", mode=mode)
+    assert cpu.regs[A0] == 0xFFFF_FFFF_FFFF_FFFF
+
+
+def test_mul_div_rem_signed(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li a0, -7
+          li a1, 2
+          div a2, a0, a1      # -3 (truncate toward zero)
+          rem a3, a0, a1      # -1
+          mul a4, a0, a1      # -14
+          ecall
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[12] == (-3) & (2**64 - 1)
+    assert cpu.regs[13] == (-1) & (2**64 - 1)
+    assert cpu.regs[14] == (-14) & (2**64 - 1)
+
+
+def test_div_by_zero_riscv_semantics(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li a0, 5
+          li a1, 0
+          div a2, a0, a1     # all ones
+          divu a3, a0, a1    # all ones
+          rem a4, a0, a1     # dividend
+          remu a5, a0, a1    # dividend
+          ecall
+        """,
+        mode=mode,
+    )
+    M = 2**64 - 1
+    assert cpu.regs[12] == M
+    assert cpu.regs[13] == M
+    assert cpu.regs[14] == 5
+    assert cpu.regs[15] == 5
+
+
+def test_shifts(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li a0, -8
+          srai a1, a0, 1     # -4 arithmetic
+          srli a2, a0, 60    # logical: high bits come in as 0
+          slli a3, a0, 1     # -16
+          ecall
+        """,
+        mode=mode,
+    )
+    M = 2**64 - 1
+    assert cpu.regs[11] == (-4) & M
+    assert cpu.regs[12] == ((-8) & M) >> 60
+    assert cpu.regs[13] == (-16) & M
+
+
+def test_shift_amount_masked_to_6_bits(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li a0, 1
+          li a1, 65        # 65 & 63 == 1
+          sll a2, a0, a1
+          ecall
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[12] == 2
+
+
+def test_compare_instructions(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li a0, -1
+          li a1, 1
+          slt a2, a0, a1     # signed: -1 < 1 -> 1
+          sltu a3, a0, a1    # unsigned: huge > 1 -> 0
+          slti a4, a0, 0     # 1
+          sltiu a5, a1, 2    # 1
+          ecall
+        """,
+        mode=mode,
+    )
+    assert [cpu.regs[i] for i in (12, 13, 14, 15)] == [1, 0, 1, 1]
+
+
+def test_loads_stores_all_widths(run, mode):
+    cpu, mem, _ = run(
+        """
+        _start:
+          la a0, buf
+          li a1, -2
+          sb a1, 0(a0)
+          sh a1, 2(a0)
+          sw a1, 4(a0)
+          sd a1, 8(a0)
+          lb a2, 0(a0)
+          lbu a3, 0(a0)
+          lh a4, 2(a0)
+          lhu a5, 2(a0)
+          lw a6, 4(a0)
+          lwu a7, 4(a0)
+          ld t0, 8(a0)
+          ecall
+        .data
+        buf: .space 64
+        """,
+        mode=mode,
+    )
+    M = 2**64 - 1
+    assert cpu.regs[12] == (-2) & M  # lb sign-extends
+    assert cpu.regs[13] == 0xFE
+    assert cpu.regs[14] == (-2) & M
+    assert cpu.regs[15] == 0xFFFE
+    assert cpu.regs[16] == (-2) & M
+    assert cpu.regs[17] == 0xFFFF_FFFE
+    assert cpu.regs[5] == (-2) & M
+
+
+def test_branch_loop_sums(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li a0, 0
+          li t0, 0
+          li t1, 100
+        loop:
+          add a0, a0, t0
+          addi t0, t0, 1
+          blt t0, t1, loop
+          ecall
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[A0] == sum(range(100))
+
+
+def test_function_call_and_return(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li a0, 5
+          call double_it
+          call double_it
+          ecall
+        double_it:
+          add a0, a0, a0
+          ret
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[A0] == 20
+
+
+def test_jalr_link_register_when_rd_equals_rs1(run, mode):
+    # jalr a0, a0, 0: target must be read before the link write.
+    cpu, _, _ = run(
+        """
+        _start:
+          la a0, target
+          jalr a0, a0, 0
+        target:
+          ecall
+        """,
+        mode=mode,
+    )
+    # link value = pc of jalr + 4 = address of 'target'
+    assert cpu.regs[A0] == cpu.pc - 4
+
+
+def test_zero_register_is_immutable(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li t0, 99
+          add zero, t0, t0
+          addi zero, zero, 55
+          mv a0, zero
+          ecall
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[A0] == 0
+    assert cpu.regs[0] == 0
+
+
+def test_movz_movk_movn_compose(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          movz a0, 0x1111, 0
+          movk a0, 0x2222, 1
+          movk a0, 0x3333, 3
+          movn a1, 0x00FF, 0
+          ecall
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[A0] == 0x3333_0000_2222_1111
+    assert cpu.regs[A1] == (~0x00FF) & (2**64 - 1)
+
+
+def test_fp_arithmetic(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li t0, 3
+          li t1, 4
+          fcvt.d.l a0, t0
+          fcvt.d.l a1, t1
+          fmul a2, a0, a1      # 12.0
+          fadd a3, a0, a1      # 7.0
+          fdiv a4, a0, a1      # 0.75
+          fsqrt a5, a2         # sqrt(12)
+          fcvt.l.d a6, a2      # 12
+          ecall
+        """,
+        mode=mode,
+    )
+    assert b2f(cpu.regs[12]) == 12.0
+    assert b2f(cpu.regs[13]) == 7.0
+    assert b2f(cpu.regs[14]) == 0.75
+    assert math.isclose(b2f(cpu.regs[15]), math.sqrt(12))
+    assert cpu.regs[16] == 12
+
+
+def test_fp_division_by_zero_gives_inf(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li t0, 1
+          fcvt.d.l a0, t0
+          movz a1, 0, 0        # +0.0 bits
+          fdiv a2, a0, a1
+          ecall
+        """,
+        mode=mode,
+    )
+    assert b2f(cpu.regs[12]) == math.inf
+
+
+def test_fp_compare(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          li t0, 1
+          li t1, 2
+          fcvt.d.l a0, t0
+          fcvt.d.l a1, t1
+          flt a2, a0, a1
+          fle a3, a1, a0
+          feq a4, a0, a0
+          ecall
+        """,
+        mode=mode,
+    )
+    assert [cpu.regs[i] for i in (12, 13, 14)] == [1, 0, 1]
+
+
+def test_ll_sc_success_path(run, mode):
+    cpu, mem, _ = run(
+        """
+        _start:
+          la a0, cell
+          lr t0, (a0)
+          addi t0, t0, 1
+          sc t1, t0, (a0)
+          ld a1, 0(a0)
+          ecall
+        .data
+        cell: .quad 41
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[6] == 0  # sc succeeded
+    assert cpu.regs[A1] == 42
+
+
+def test_sc_without_reservation_fails(run, mode):
+    cpu, mem, _ = run(
+        """
+        _start:
+          la a0, cell
+          li t0, 99
+          sc t1, t0, (a0)
+          ld a1, 0(a0)
+          ecall
+        .data
+        cell: .quad 7
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[6] == 1  # failed
+    assert cpu.regs[A1] == 7  # unchanged
+
+
+def test_sc_fails_after_intervening_store(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          la a0, cell
+          lr t0, (a0)
+          li t2, 5
+          sd t2, 0(a0)         # plain store kills the reservation
+          sc t1, t0, (a0)
+          ld a1, 0(a0)
+          ecall
+        .data
+        cell: .quad 1
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[6] == 1
+    assert cpu.regs[A1] == 5
+
+
+def test_cas_success_and_failure(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          la a0, cell
+          li t0, 10            # expected (in rd)
+          li t1, 20            # desired
+          mv a2, t0
+          cas a2, t1, (a0)     # matches -> swaps, returns 10
+          mv a3, t0
+          cas a3, t1, (a0)     # now cell==20, expected 10 -> fails, returns 20
+          ld a4, 0(a0)
+          ecall
+        .data
+        cell: .quad 10
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[12] == 10
+    assert cpu.regs[13] == 20
+    assert cpu.regs[14] == 20
+
+
+def test_amoadd_amoswap(run, mode):
+    cpu, _, _ = run(
+        """
+        _start:
+          la a0, cell
+          li t0, 5
+          amoadd a1, t0, (a0)   # returns 100, cell=105
+          li t1, 7
+          amoswap a2, t1, (a0)  # returns 105, cell=7
+          ld a3, 0(a0)
+          ecall
+        .data
+        cell: .quad 100
+        """,
+        mode=mode,
+    )
+    assert cpu.regs[11] == 100
+    assert cpu.regs[12] == 105
+    assert cpu.regs[13] == 7
+
+
+def test_hint_sets_group(run, mode):
+    cpu, _, _ = run("_start:\n hint 3\n ecall\n", mode=mode)
+    assert cpu.hint_group == 3
+
+
+def test_fence_is_neutral(run, mode):
+    cpu, _, _ = run("_start:\n li a0, 1\n fence\n addi a0, a0, 1\n ecall\n", mode=mode)
+    assert cpu.regs[A0] == 2
+
+
+def test_ecall_pc_points_past_instruction(run, mode):
+    cpu, _, _ = run("_start:\n ecall\n", mode=mode)
+    from repro.isa import DEFAULT_TEXT_BASE
+
+    assert cpu.pc == DEFAULT_TEXT_BASE + 4

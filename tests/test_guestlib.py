@@ -1,0 +1,282 @@
+"""Guest runtime library ("libc") behaviour tests.
+
+These run real guest programs exercising each runtime routine in isolation
+on a small cluster, asserting exact outputs.
+"""
+
+import pytest
+
+from repro import Cluster, DQEMUConfig
+from repro.guestlib import THREAD_STACK_BYTES, runtime_builder
+
+LONG = dict(max_virtual_ms=600_000)
+
+
+def run(b, n_slaves=1, **kw):
+    return Cluster(n_slaves, kw.pop("config", None)).run(b.assemble(), **LONG, **kw)
+
+
+def main_wrap(b, body):
+    b.label("main")
+    b.addi("sp", "sp", -16)
+    b.sd("ra", 8, "sp")
+    body(b)
+    b.li("a0", 0)
+    b.ld("ra", 8, "sp")
+    b.addi("sp", "sp", 16)
+    b.ret()
+
+
+class TestPrint:
+    @pytest.mark.parametrize("value", [0, 7, 10, 999, 2**31, 2**63])
+    def test_print_u64(self, value):
+        b = runtime_builder()
+
+        def body(bb):
+            bb.li("a0", value)
+            bb.call("rt_print_u64_ln")
+
+        main_wrap(b, body)
+        assert run(b).stdout == f"{value}\n"
+
+    def test_print_str(self):
+        b = runtime_builder()
+
+        def body(bb):
+            bb.la("a0", "msg")
+            bb.li("a1", 3)
+            bb.call("rt_print_str")
+
+        main_wrap(b, body)
+        b.data().label("msg").asciz("abcdef").text()
+        assert run(b).stdout == "abc"
+
+
+class TestTime:
+    def test_time_is_monotonic_nonzero(self):
+        b = runtime_builder()
+
+        def body(bb):
+            bb.call("rt_time_ns")
+            bb.mv("s0", "a0")
+            # burn some cycles
+            bb.li("t0", 1000)
+            bb.label(".spin")
+            bb.addi("t0", "t0", -1)
+            bb.bnez("t0", ".spin")
+            bb.call("rt_time_ns")
+            bb.sub("a0", "a0", "s0")
+            bb.call("rt_print_u64_ln")
+
+        b.label("main")
+        b.addi("sp", "sp", -16)
+        b.sd("ra", 8, "sp")
+        b.sd("s0", 0, "sp")
+        body(b)
+        b.li("a0", 0)
+        b.ld("ra", 8, "sp")
+        b.ld("s0", 0, "sp")
+        b.addi("sp", "sp", 16)
+        b.ret()
+        out = int(run(b).stdout)
+        assert out > 0
+
+
+class TestMalloc:
+    def test_allocations_are_disjoint_and_aligned(self):
+        b = runtime_builder()
+
+        def body(bb):
+            bb.li("a0", 24)
+            bb.call("rt_malloc")
+            bb.mv("s0", "a0")
+            bb.li("a0", 100)
+            bb.call("rt_malloc")
+            # second - first >= 32 (rounded to 16) and both 16-aligned
+            bb.sub("t0", "a0", "s0")
+            bb.mv("a0", "t0")
+            bb.call("rt_print_u64_ln")
+            bb.andi("a0", "s0", 15)
+            bb.call("rt_print_u64_ln")
+
+        b.label("main")
+        b.addi("sp", "sp", -16)
+        b.sd("ra", 8, "sp")
+        b.sd("s0", 0, "sp")
+        body(b)
+        b.li("a0", 0)
+        b.ld("ra", 8, "sp")
+        b.ld("s0", 0, "sp")
+        b.addi("sp", "sp", 16)
+        b.ret()
+        lines = run(b).stdout.splitlines()
+        assert int(lines[0]) >= 32
+        assert int(lines[1]) == 0
+
+    def test_huge_allocation_gets_fresh_arena(self):
+        b = runtime_builder()
+
+        def body(bb):
+            bb.li("a0", 0x300000)  # 3 MiB > arena size
+            bb.call("rt_malloc")
+            bb.snez("a0", "a0")
+            bb.call("rt_print_u64_ln")
+            # and the arena still works afterwards
+            bb.li("a0", 64)
+            bb.call("rt_malloc")
+            bb.snez("a0", "a0")
+            bb.call("rt_print_u64_ln")
+
+        main_wrap(b, body)
+        assert run(b).stdout == "1\n1\n"
+
+    def test_allocation_is_writable(self):
+        b = runtime_builder()
+
+        def body(bb):
+            bb.li("a0", 4096)
+            bb.call("rt_malloc")
+            bb.li("t0", 0x1234)
+            bb.sd("t0", 0, "a0")
+            bb.ld("a0", 0, "a0")
+            bb.call("rt_print_u64_ln")
+
+        main_wrap(b, body)
+        assert run(b).stdout == f"{0x1234}\n"
+
+
+class TestThreadCreate:
+    def test_handle_holds_tid_and_ctid_clears(self):
+        b = runtime_builder()
+
+        def body(bb):
+            bb.la("a0", "worker")
+            bb.li("a1", 0)
+            bb.call("rt_thread_create")
+            bb.mv("s0", "a0")
+            bb.ld("t0", 8, "s0")  # stashed tid
+            bb.mv("a0", "t0")
+            bb.call("rt_print_u64_ln")
+            bb.mv("a0", "s0")
+            bb.call("rt_join")
+            bb.ld("a0", 0, "s0")  # ctid word cleared by the kernel
+            bb.call("rt_print_u64_ln")
+
+        b.label("main")
+        b.addi("sp", "sp", -16)
+        b.sd("ra", 8, "sp")
+        b.sd("s0", 0, "sp")
+        body(b)
+        b.li("a0", 0)
+        b.ld("ra", 8, "sp")
+        b.ld("s0", 0, "sp")
+        b.addi("sp", "sp", 16)
+        b.ret()
+        b.label("worker")
+        b.li("a0", 0)
+        b.ret()
+        out = run(b).stdout.splitlines()
+        assert int(out[0]) == 2  # main is tid 1, first child tid 2
+        assert int(out[1]) == 0
+
+    def test_thread_arg_passed(self):
+        b = runtime_builder()
+
+        def body(bb):
+            bb.la("a0", "worker")
+            bb.li("a1", 4242)
+            bb.call("rt_thread_create")
+            bb.mv("a0", "a0")
+            bb.call("rt_join")
+            bb.la("t0", "cell")
+            bb.ld("a0", 0, "t0")
+            bb.call("rt_print_u64_ln")
+
+        main_wrap(b, body)
+        b.label("worker")
+        b.la("t0", "cell")
+        b.sd("a0", 0, "t0")
+        b.li("a0", 0)
+        b.ret()
+        b.data().align(8).label("cell").quad(0).text()
+        assert run(b, n_slaves=2).stdout == "4242\n"
+
+    def test_thread_stack_is_private_and_big_enough(self):
+        """Child recursion must not clobber other threads' state."""
+        b = runtime_builder()
+
+        def body(bb):
+            for _ in range(2):
+                bb.la("a0", "worker")
+                bb.li("a1", 0)
+                bb.call("rt_thread_create")
+                bb.mv("a0", "a0")
+                bb.call("rt_join")
+            bb.la("t0", "ok")
+            bb.ld("a0", 0, "t0")
+            bb.call("rt_print_u64_ln")
+
+        main_wrap(b, body)
+        # worker uses a large stack buffer (half the thread stack)
+        b.label("worker")
+        depth = THREAD_STACK_BYTES // 2
+        b.li("t0", depth)
+        b.sub("sp", "sp", "t0")
+        b.sd("zero", 0, "sp")  # touch the deep end
+        b.add("sp", "sp", "t0")
+        b.la("t1", "ok")
+        b.li("t2", 1)
+        b.amoadd("t3", "t2", "t1")
+        b.li("a0", 0)
+        b.ret()
+        b.data().align(8).label("ok").quad(0).text()
+        assert run(b, n_slaves=2).stdout == "2\n"
+
+
+class TestSpinlock:
+    def test_spinlock_mutual_exclusion_intra_node(self):
+        b = runtime_builder()
+
+        def body(bb):
+            for k in range(2):
+                bb.la("a0", "worker")
+                bb.li("a1", 0)
+                bb.call("rt_thread_create")
+                bb.la("t0", "handles")
+                bb.sd("a0", 8 * k, "t0")
+            for off in (0, 8):
+                bb.la("t0", "handles")
+                bb.ld("a0", off, "t0")
+                bb.call("rt_join")
+            bb.la("t0", "counter")
+            bb.ld("a0", 0, "t0")
+            bb.call("rt_print_u64_ln")
+
+        main_wrap(b, body)
+        b.label("worker")
+        b.addi("sp", "sp", -16)
+        b.sd("ra", 8, "sp")
+        b.sd("s0", 0, "sp")
+        b.li("s0", 300)
+        b.label(".w")
+        b.la("a0", "slock")
+        b.call("rt_spin_lock")
+        b.la("t0", "counter")
+        b.ld("t1", 0, "t0")
+        b.addi("t1", "t1", 1)
+        b.sd("t1", 0, "t0")
+        b.la("a0", "slock")
+        b.call("rt_spin_unlock")
+        b.addi("s0", "s0", -1)
+        b.bnez("s0", ".w")
+        b.li("a0", 0)
+        b.ld("ra", 8, "sp")
+        b.ld("s0", 0, "sp")
+        b.addi("sp", "sp", 16)
+        b.ret()
+        b.data().align(8)
+        b.label("slock").quad(0)
+        b.label("counter").quad(0)
+        b.label("handles").quad(0, 0)
+        b.text()
+        assert run(b, n_slaves=1).stdout == "600\n"

@@ -1,0 +1,128 @@
+"""Encoding/decoding tests for GA64, including property-based round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, InvalidInstruction
+from repro.isa import BY_OPCODE, SPECS, Fmt, Instruction, decode, encode
+from repro.isa.encoding import IMM14_MAX, IMM14_MIN, IMM19_MAX, IMM19_MIN
+
+
+def spec_of(m):
+    return SPECS[m]
+
+
+class TestBasicEncoding:
+    def test_opcode_table_is_dense_and_unique(self):
+        opcodes = [s.opcode for s in SPECS.values()]
+        assert len(set(opcodes)) == len(opcodes)
+        assert min(opcodes) == 1
+        assert max(opcodes) == len(opcodes)
+
+    def test_r_type_fields(self):
+        instr = Instruction(spec_of("add"), rd=5, rs1=6, rs2=7)
+        word = encode(instr)
+        back = decode(word)
+        assert back == instr
+
+    def test_i_type_negative_imm(self):
+        instr = Instruction(spec_of("addi"), rd=2, rs1=2, imm=-16)
+        assert decode(encode(instr)) == instr
+
+    def test_store_uses_rs1_rs2(self):
+        instr = Instruction(spec_of("sd"), rs1=2, rs2=10, imm=24)
+        assert decode(encode(instr)) == instr
+
+    def test_branch_alignment_enforced(self):
+        with pytest.raises(EncodingError, match="4-aligned"):
+            encode(Instruction(spec_of("beq"), rs1=1, rs2=2, imm=6))
+
+    def test_jump_alignment_enforced(self):
+        with pytest.raises(EncodingError, match="4-aligned"):
+            encode(Instruction(spec_of("jal"), rd=1, imm=2))
+
+    def test_movz_fields(self):
+        instr = Instruction(spec_of("movz"), rd=9, imm=0xBEEF, hw=2)
+        assert decode(encode(instr)) == instr
+
+    def test_movk_hw_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(spec_of("movk"), rd=1, imm=1, hw=4))
+
+    def test_imm14_bounds(self):
+        encode(Instruction(spec_of("addi"), rd=1, rs1=1, imm=IMM14_MAX))
+        encode(Instruction(spec_of("addi"), rd=1, rs1=1, imm=IMM14_MIN))
+        with pytest.raises(EncodingError):
+            encode(Instruction(spec_of("addi"), rd=1, rs1=1, imm=IMM14_MAX + 1))
+        with pytest.raises(EncodingError):
+            encode(Instruction(spec_of("addi"), rd=1, rs1=1, imm=IMM14_MIN - 1))
+
+    def test_register_bounds(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(spec_of("add"), rd=32, rs1=0, rs2=0))
+
+    def test_undefined_opcode_raises_guest_fault(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0xFF00_0000, pc=0x1000)
+
+    def test_zero_word_is_invalid(self):
+        with pytest.raises(InvalidInstruction):
+            decode(0)
+
+    def test_sys_format_round_trip(self):
+        for m in ("ecall", "ebreak", "fence"):
+            instr = Instruction(spec_of(m))
+            assert decode(encode(instr)) == instr
+
+    def test_non_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+
+# -- property-based round trips -------------------------------------------------
+
+regs = st.integers(0, 31)
+imm14 = st.integers(IMM14_MIN, IMM14_MAX)
+imm14_aligned = imm14.map(lambda v: v & ~0x3)
+imm19_aligned = st.integers(IMM19_MIN, IMM19_MAX).map(lambda v: v & ~0x3)
+imm16 = st.integers(0, 0xFFFF)
+hw = st.integers(0, 3)
+
+
+@st.composite
+def instructions(draw):
+    spec = draw(st.sampled_from(sorted(SPECS.values(), key=lambda s: s.opcode)))
+    if spec.fmt is Fmt.R:
+        return Instruction(spec, rd=draw(regs), rs1=draw(regs), rs2=draw(regs))
+    if spec.fmt is Fmt.I:
+        return Instruction(spec, rd=draw(regs), rs1=draw(regs), imm=draw(imm14))
+    if spec.fmt is Fmt.S:
+        return Instruction(spec, rs1=draw(regs), rs2=draw(regs), imm=draw(imm14))
+    if spec.fmt is Fmt.B:
+        return Instruction(spec, rs1=draw(regs), rs2=draw(regs), imm=draw(imm14_aligned))
+    if spec.fmt is Fmt.M:
+        return Instruction(spec, rd=draw(regs), imm=draw(imm16), hw=draw(hw))
+    if spec.fmt is Fmt.J:
+        return Instruction(spec, rd=draw(regs), imm=draw(imm19_aligned))
+    return Instruction(spec)
+
+
+@given(instructions())
+def test_roundtrip_encode_decode(instr):
+    assert decode(encode(instr)) == instr
+
+
+@given(instructions())
+def test_encoded_word_is_32bit(instr):
+    word = encode(instr)
+    assert 0 <= word <= 0xFFFFFFFF
+
+
+@given(st.integers(0, 0xFFFFFFFF))
+def test_decode_never_crashes_uncontrolled(word):
+    """decode() either returns an Instruction or raises InvalidInstruction."""
+    try:
+        instr = decode(word)
+    except InvalidInstruction:
+        return
+    assert instr.spec.opcode in BY_OPCODE

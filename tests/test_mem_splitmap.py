@@ -1,0 +1,110 @@
+"""Shadow-page translation (page splitting) tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.mem.layout import PAGE_SIZE, page_base
+from repro.mem.splitmap import SplitCrossing, SplitEntry, SplitMap
+
+ORIG = 0x100
+SHADOWS4 = (0x60000, 0x60001, 0x60002, 0x60003)
+
+
+def make_map(regions=4):
+    m = SplitMap()
+    shadows = tuple(0x60000 + i for i in range(regions))
+    m.install(SplitEntry(ORIG, shadows, PAGE_SIZE // regions))
+    return m, shadows
+
+
+class TestSplitEntry:
+    def test_geometry_validated(self):
+        with pytest.raises(ProtocolError):
+            SplitEntry(ORIG, (1, 2, 3), 1024)  # 3 * 1024 != 4096
+        with pytest.raises(ProtocolError):
+            SplitEntry(ORIG, (1,), 4096)  # single region is not a split
+
+    def test_region_of(self):
+        e = SplitEntry(ORIG, SHADOWS4, 1024)
+        assert e.region_of(0) == 0
+        assert e.region_of(1023) == 0
+        assert e.region_of(1024) == 1
+        assert e.region_of(4095) == 3
+
+
+class TestTranslation:
+    def test_non_split_pages_pass_through(self):
+        m = SplitMap()
+        addr = page_base(ORIG) + 100
+        assert m.translate_span(addr, 8) == addr
+
+    def test_same_offset_in_shadow_page(self):
+        """Fig. 4: each shadow page keeps the original page offset."""
+        m, shadows = make_map()
+        for off in (0, 8, 1023, 1024, 2048, 4088):
+            addr = page_base(ORIG) + off
+            translated = m.translate_span(addr, 8 if off != 1023 else 1)
+            region = off // 1024
+            assert translated == page_base(shadows[region]) + off
+
+    def test_different_regions_map_to_different_pages(self):
+        m, shadows = make_map()
+        a = m.translate_span(page_base(ORIG) + 0, 8)
+        b = m.translate_span(page_base(ORIG) + 1024, 8)
+        assert a // PAGE_SIZE != b // PAGE_SIZE
+
+    def test_crossing_access_raises(self):
+        m, _ = make_map()
+        with pytest.raises(SplitCrossing):
+            m.translate_span(page_base(ORIG) + 1020, 8)
+
+    def test_reverse_lookup(self):
+        m, shadows = make_map()
+        assert m.shadow_to_orig(shadows[2]) == (ORIG, 2)
+        assert m.shadow_to_orig(0x999) is None
+
+    def test_remove_restores_passthrough(self):
+        m, _ = make_map()
+        entry = m.remove(ORIG)
+        assert entry.orig_page == ORIG
+        addr = page_base(ORIG) + 2048
+        assert m.translate_span(addr, 8) == addr
+        assert m.shadow_to_orig(entry.shadow_pages[0]) is None
+
+    def test_remove_unknown_rejected(self):
+        m = SplitMap()
+        with pytest.raises(ProtocolError):
+            m.remove(ORIG)
+
+    def test_double_install_rejected(self):
+        m, _ = make_map()
+        with pytest.raises(ProtocolError):
+            m.install(SplitEntry(ORIG, (0x70000, 0x70001), 2048))
+
+    def test_shadow_reuse_rejected(self):
+        m, shadows = make_map()
+        with pytest.raises(ProtocolError):
+            m.install(SplitEntry(0x200, (shadows[0], 0x70001), 2048))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    regions=st.sampled_from([2, 4, 8, 16]),
+    off=st.integers(0, PAGE_SIZE - 1),
+    size=st.sampled_from([1, 2, 4, 8]),
+)
+def test_translation_preserves_offset_and_partitions(regions, off, size):
+    m = SplitMap()
+    shadows = tuple(0x60000 + i for i in range(regions))
+    region_bytes = PAGE_SIZE // regions
+    m.install(SplitEntry(ORIG, shadows, region_bytes))
+    addr = page_base(ORIG) + off
+    try:
+        t = m.translate_span(addr, size)
+    except SplitCrossing:
+        # only legal when the span really crosses a boundary
+        assert off // region_bytes != (off + size - 1) // region_bytes
+        return
+    assert t % PAGE_SIZE == off  # same page offset
+    assert (t // PAGE_SIZE) == shadows[off // region_bytes]

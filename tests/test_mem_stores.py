@@ -1,0 +1,147 @@
+"""PageStore and FlatMemory unit tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbt import CPUState
+from repro.errors import SegmentationFault, UnalignedAccess
+from repro.mem import FlatMemory, MSIState, PAGE_SIZE, PageStore
+from repro.mem.api import sign_extend
+
+
+class TestPageStore:
+    def test_default_state_invalid(self):
+        ps = PageStore()
+        assert ps.state(5) is MSIState.INVALID
+        assert not ps.has_read(5)
+        assert not ps.has_write(5)
+
+    def test_install_and_read(self):
+        ps = PageStore()
+        data = bytes(range(256)) * 16
+        ps.install(3, data, MSIState.SHARED)
+        assert ps.has_read(3)
+        assert not ps.has_write(3)
+        assert ps.read(3 * PAGE_SIZE + 1, 1) == 1
+
+    def test_install_wrong_size_rejected(self):
+        ps = PageStore()
+        with pytest.raises(ValueError):
+            ps.install(1, b"short", MSIState.SHARED)
+
+    def test_modified_grants_write(self):
+        ps = PageStore()
+        ps.ensure(2, MSIState.MODIFIED)
+        assert ps.has_write(2)
+        ps.write(2 * PAGE_SIZE, 8, 0xDEAD)
+        assert ps.read(2 * PAGE_SIZE, 8) == 0xDEAD
+
+    def test_drop_returns_content(self):
+        ps = PageStore()
+        ps.ensure(2, MSIState.MODIFIED)
+        ps.write(2 * PAGE_SIZE, 4, 77)
+        content = ps.drop(2)
+        assert content is not None and len(content) == PAGE_SIZE
+        assert int.from_bytes(content[:4], "little") == 77
+        assert ps.state(2) is MSIState.INVALID
+        assert ps.drop(2) is None
+
+    def test_access_without_copy_is_segfault(self):
+        ps = PageStore()
+        with pytest.raises(SegmentationFault):
+            ps.read(0x5000, 8)
+
+    def test_set_state_invalid_clears(self):
+        ps = PageStore()
+        ps.ensure(1, MSIState.SHARED)
+        ps.set_state(1, MSIState.INVALID)
+        assert ps.state(1) is MSIState.INVALID
+        # data copy still present until dropped (write-back keeps it readable)
+        assert 1 in ps
+
+    def test_len_and_pages(self):
+        ps = PageStore()
+        ps.ensure(1, MSIState.SHARED)
+        ps.ensure(9, MSIState.MODIFIED)
+        assert len(ps) == 2
+        assert sorted(ps.pages()) == [1, 9]
+
+
+class TestFlatMemory:
+    def test_auto_alloc_reads_zero(self):
+        mem = FlatMemory()
+        assert mem.load(0x123456, 8, False) == 0
+
+    def test_no_auto_alloc_segfaults(self):
+        mem = FlatMemory(auto_alloc=False)
+        with pytest.raises(SegmentationFault):
+            mem.load(0x123456, 8, False)
+
+    def test_cross_page_write_bytes_allowed(self):
+        """Bulk (loader) writes may span pages; guest accesses may not."""
+        mem = FlatMemory()
+        addr = PAGE_SIZE - 2
+        mem.write_bytes(addr, b"\x01\x02\x03\x04")
+        assert mem.read_bytes(addr, 4) == b"\x01\x02\x03\x04"
+
+    def test_guest_access_cross_page_rejected(self):
+        mem = FlatMemory()
+        with pytest.raises(UnalignedAccess):
+            mem.load(PAGE_SIZE - 2, 4, False)
+        with pytest.raises(UnalignedAccess):
+            mem.store(PAGE_SIZE - 1, 2, 0)
+
+    def test_sign_extension_helper(self):
+        assert sign_extend(0xFF, 1) == 2**64 - 1
+        assert sign_extend(0x7F, 1) == 0x7F
+        assert sign_extend(0x8000, 2) == 2**64 - 0x8000
+
+    def test_reservation_killed_by_other_thread_store(self):
+        mem = FlatMemory()
+        cpu1 = CPUState(tid=1)
+        cpu2 = CPUState(tid=2)
+        mem.store(0x1000, 8, 5)
+        mem.load_reserved(cpu1, 0x1000)
+        # thread 2 stores into the reserved cell
+        mem.store(0x1000, 8, 6)
+        assert mem.store_conditional(cpu1, 0x1000, 7) is False
+        assert mem.load(0x1000, 8, False) == 6
+
+    def test_reservation_killed_by_overlapping_narrow_store(self):
+        mem = FlatMemory()
+        cpu = CPUState(tid=1)
+        mem.load_reserved(cpu, 0x1000)
+        mem.store(0x1004, 1, 9)  # 1-byte store inside the reserved cell
+        assert mem.store_conditional(cpu, 0x1000, 7) is False
+
+    def test_two_threads_can_both_reserve(self):
+        """LL by two threads: first SC wins, second fails (its reservation
+        is killed by the successful store)."""
+        mem = FlatMemory()
+        cpu1, cpu2 = CPUState(tid=1), CPUState(tid=2)
+        mem.load_reserved(cpu1, 0x2000)
+        mem.load_reserved(cpu2, 0x2000)
+        assert mem.store_conditional(cpu1, 0x2000, 1) is True
+        assert mem.store_conditional(cpu2, 0x2000, 2) is False
+        assert mem.load(0x2000, 8, False) == 1
+
+    def test_sc_to_different_address_fails(self):
+        mem = FlatMemory()
+        cpu = CPUState(tid=1)
+        mem.load_reserved(cpu, 0x3000)
+        assert mem.store_conditional(cpu, 0x3008, 1) is False
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    addr=st.integers(0, 2**32).map(lambda a: a & ~7),
+    value=st.integers(0, 2**64 - 1),
+    size=st.sampled_from([1, 2, 4, 8]),
+)
+def test_store_load_roundtrip(addr, value, size):
+    mem = FlatMemory()
+    mem.store(addr, size, value)
+    mask = (1 << (8 * size)) - 1
+    assert mem.load(addr, size, False) == value & mask
+    expected_signed = sign_extend(value & mask, size) if size < 8 else value & mask
+    assert mem.load(addr, size, True) == expected_signed

@@ -1,0 +1,263 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(100)
+    sim.run()
+    assert sim.now == 100
+
+
+def test_timeout_value_delivered_to_process():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        val = yield sim.timeout(10, value="hello")
+        seen.append(val)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(delay, tag):
+        yield sim.timeout(delay)
+        order.append((sim.now, tag))
+
+    sim.spawn(proc(30, "c"))
+    sim.spawn(proc(10, "a"))
+    sim.spawn(proc(20, "b"))
+    sim.run()
+    assert order == [(10, "a"), (20, "b"), (30, "c")]
+
+
+def test_ties_broken_by_insertion_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    for tag in "abcd":
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        return 42
+
+    def parent():
+        result = yield sim.spawn(child())
+        return result * 2
+
+    p = sim.spawn(parent())
+    assert sim.run(until=p) == 84
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.spawn(child())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = sim.spawn(parent())
+    assert sim.run(until=p) == "caught boom"
+
+
+def test_uncaught_process_exception_raises_from_run():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    p = sim.spawn(child())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(until=p)
+
+
+def test_event_succeed_twice_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_manual_event_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    def firer():
+        yield sim.timeout(50)
+        ev.succeed("data")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == ["data"]
+    assert sim.now == 50
+
+
+def test_run_until_deadline_stops_midway():
+    sim = Simulator()
+    hits = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(10)
+            hits.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=45)
+    assert hits == [10, 20, 30, 40]
+    assert sim.now == 45
+
+
+def test_run_until_event_deadlock_detected():
+    sim = Simulator()
+    ev = sim.event()  # never triggered
+
+    def waiter():
+        yield ev
+
+    p = sim.spawn(waiter())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run(until=p)
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    ev = sim.all_of([sim.timeout(5, "a"), sim.timeout(3, "b"), sim.timeout(9, "c")])
+
+    def waiter():
+        return (yield ev)
+
+    p = sim.spawn(waiter())
+    assert sim.run(until=p) == ["a", "b", "c"]
+    assert sim.now == 9
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def waiter():
+        return (yield sim.all_of([]))
+
+    p = sim.spawn(waiter())
+    assert sim.run(until=p) == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def waiter():
+        return (yield sim.any_of([sim.timeout(50, "slow"), sim.timeout(5, "fast")]))
+
+    p = sim.spawn(waiter())
+    assert sim.run(until=p) == (1, "fast")
+    assert sim.now == 5
+
+
+def test_process_yielding_non_event_fails():
+    sim = Simulator()
+
+    def bad():
+        yield 123
+
+    p = sim.spawn(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run(until=p)
+
+
+def test_interrupt_throws_into_process():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except RuntimeError:
+            return sim.now
+
+    p = sim.spawn(sleeper())
+
+    def interrupter():
+        yield sim.timeout(7)
+        p.interrupt(RuntimeError("wake up"))
+
+    sim.spawn(interrupter())
+    assert sim.run(until=p) == 7
+
+
+def test_late_callback_still_invoked():
+    sim = Simulator()
+    ev = sim.timeout(1, "v")
+    sim.run()
+    assert ev.processed
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["v"]
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        trace = []
+
+        def proc(i):
+            for k in range(3):
+                yield sim.timeout(7 * (i + 1))
+                trace.append((sim.now, i, k))
+
+        for i in range(5):
+            sim.spawn(proc(i))
+        sim.run()
+        return trace
+
+    assert build() == build()
