@@ -6,8 +6,6 @@ Paper: both programs scale with node count (blackscholes near-linear, to
 sits at a flat 1.26 relative to one-slave DQEMU.
 """
 
-import pytest
-
 from benchmarks.conftest import run_once
 from repro.analysis import run_fig7
 

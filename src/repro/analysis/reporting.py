@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["render_table", "render_series", "format_value"]
+__all__ = ["render_table", "render_series", "render_service_breakdown", "format_value"]
 
 
 def format_value(v: Any) -> str:
@@ -42,3 +42,20 @@ def render_series(name: str, xs: Sequence[Any], series: dict[str, Sequence[float
     headers = ["x"] + list(series)
     rows = [[x, *(vals[i] for vals in series.values())] for i, x in enumerate(xs)]
     return render_table(headers, rows, title=name)
+
+
+def render_service_breakdown(stats) -> str:
+    """Per-service load attribution from a run's ``RunStats.services``.
+
+    One row per runtime service (master + node side), sorted by busy time —
+    a direct read on which protocol subsystem eats the master-link budget.
+    """
+    rows = [
+        [s.name, s.requests, s.busy_ns / 1e3]
+        for s in sorted(
+            stats.services.values(), key=lambda s: (-s.busy_ns, -s.requests, s.name)
+        )
+    ]
+    return render_table(
+        ["service", "requests", "busy (us)"], rows, title="Runtime service load"
+    )

@@ -2,101 +2,40 @@
 
 The master owns the page directory, the centralized system state, and one
 *manager* process per node (including itself — the master's own guest
-threads talk to their manager over the fabric's loopback).  Managers drive
-MSI transactions under per-page locks, execute delegated syscalls, create
-threads remotely, and run the two §5 optimizations: the false-sharing
-detector + page splitter and the read-ahead data forwarder.
+threads talk to their manager over the fabric's loopback).  The protocol
+work itself lives in the service layer (:mod:`repro.core.services`): the
+manager processes are thin pumps feeding a :class:`Dispatcher` that routes
+each frame by kind to the coherence, syscall, or splitting service;
+forwarding and futex delivery are internal services driven by those.  This
+class is the composition root wiring them together.
 """
 
 from __future__ import annotations
 
-from typing import Generator
-
 from repro.core.config import DQEMUConfig
-from repro.core.forwarding import ReadAheadEngine
-from repro.core.migration import build_child_context
 from repro.core.node import NodeRuntime
 from repro.core.scheduler import ThreadPlacer
-from repro.core.splitting import FalseSharingDetector, SplitDecision
+from repro.core.services.base import Dispatcher
+from repro.core.services.coherence import CoherenceService, CoherentGuestMemory
+from repro.core.services.forwarding import ForwardingService
+from repro.core.services.futexes import FutexService
+from repro.core.services.splitting import SplittingService
+from repro.core.services.syscalls import SyscallService
 from repro.core.stats import RunStats
-from repro.errors import ProtocolError
-from repro.kernel.syscalls import SyscallExecutor, SyscallResult, SystemState
-from repro.kernel.sysnums import (
-    CLONE_CHILD_CLEARTID,
-    CLONE_CHILD_SETTID,
-    CLONE_PARENT_SETTID,
-)
-from repro.mem.directory import Directory
-from repro.mem.layout import PAGE_SIZE, SHADOW_BASE, page_of, page_offset
-from repro.mem.msi import MSIState
+from repro.kernel.syscalls import SystemState
 from repro.mem.pagestore import PageStore
-from repro.mem.splitmap import SplitEntry, SplitMap
-from repro.net.messages import (
-    FutexWake,
-    Invalidate,
-    PageData,
-    PagePush,
-    Shutdown,
-    SpawnThread,
-    SplitTableUpdate,
-    SyscallReply,
-    WriteBack,
-)
+from repro.net.messages import Shutdown
 from repro.sim.engine import Event, Simulator
-from repro.sim.sync import SimLock
 
 __all__ = ["MasterRuntime", "MasterGuestMemory"]
 
-
-class MasterGuestMemory:
-    """Kernel access to guest memory through the coherence protocol.
-
-    Pointer-argument pages are migrated to the master before the syscall
-    reads or writes them (§4.3): reads pull the freshest copy home (owner
-    downgraded), writes invalidate every copy so slaves re-fetch.
-    """
-
-    def __init__(self, master: "MasterRuntime"):
-        self.master = master
-
-    def _spans(self, addr: int, size: int):
-        """Split [addr, addr+size) into translated (taddr, length) chunks that
-        stay within one page and one split region."""
-        m = self.master
-        pos = addr
-        end = addr + size
-        while pos < end:
-            page = page_of(pos)
-            off = page_offset(pos)
-            entry = m.split.entry(page)
-            if entry is not None:
-                step = min(end - pos, entry.region_bytes - off % entry.region_bytes)
-                taddr = entry.shadow_pages[off // entry.region_bytes] * PAGE_SIZE + off
-            else:
-                step = min(end - pos, PAGE_SIZE - off)
-                taddr = pos
-            yield taddr, step
-            pos += step
-
-    def read_guest(self, addr: int, size: int) -> Generator:
-        m = self.master
-        out = bytearray()
-        for taddr, step in list(self._spans(addr, size)):
-            yield from m.own_page_for_read(page_of(taddr))
-            out += m.home_bytes(taddr, step)
-        return bytes(out)
-
-    def write_guest(self, addr: int, data: bytes) -> Generator:
-        m = self.master
-        pos = 0
-        for taddr, step in list(self._spans(addr, len(data))):
-            yield from m.own_page_for_write(page_of(taddr))
-            m.home_write(taddr, data[pos : pos + step])
-            pos += step
-        return None
+#: Backwards-compatible name for the kernel's coherent guest-memory accessor.
+MasterGuestMemory = CoherentGuestMemory
 
 
 class MasterRuntime:
+    """Composition root for the master's services and manager processes."""
+
     def __init__(
         self,
         sim: Simulator,
@@ -119,38 +58,66 @@ class MasterRuntime:
         self.placer = placer
         self.run_stats = run_stats
         self.done = done
-
-        self.directory = Directory()
-        self.split = SplitMap()  # canonical split table
-        self.detector = FalseSharingDetector(
-            trigger=config.splitting_trigger,
-            history=config.splitting_history,
-            max_regions=config.splitting_max_regions,
-        )
-        self.readahead = ReadAheadEngine(
-            trigger=config.forwarding_trigger,
-            initial_window=config.forwarding_initial_window,
-            max_window=config.forwarding_max_window,
-        )
-        self.executor = SyscallExecutor(state, MasterGuestMemory(self))
         self.trace = node.trace
-        self._page_locks: dict[int, SimLock] = {}
-        self._shadow_cursor = SHADOW_BASE // PAGE_SIZE
-        self._retired_shadows: set[int] = set()
-        # Adaptive revert (§5.1 "adaptive scheme"): a split whose shadow pages
-        # keep ping-ponging was mis-inferred; merge it back and never re-split.
-        self._shadow_conflicts: dict[int, tuple[int, int, int]] = {}  # shadow -> (node, off, n)
-        self._split_blacklist: set[int] = set()
-        self._merging: set[int] = set()
         self._finished = False
+
+        spawn_guarded = self._spawn_guarded
+
+        # -- services (see docs/PROTOCOL.md "Runtime service architecture") ----
+        self.coherence = CoherenceService(
+            sim, config, self.endpoint, self.trace, run_stats, home
+        )
+        self.splitting = SplittingService(
+            sim, config, self.endpoint, self.trace, run_stats,
+            self.node_ids, node.node_id, spawn_guarded,
+        )
+        self.forwarding = ForwardingService(
+            sim, config, self.endpoint, self.trace, run_stats, spawn_guarded
+        )
+        self.futexes = FutexService(self.endpoint, run_stats)
+        guest_mem = CoherentGuestMemory(self.coherence, self.splitting)
+        self.syscalls = SyscallService(
+            sim, config, self.endpoint, self.trace, run_stats,
+            state, placer, self.node_ids, node.node_id,
+            guest_mem, self.futexes, self._finish,
+        )
+        self.coherence.bind(self.splitting, self.forwarding)
+        self.splitting.bind(self.coherence)
+        self.forwarding.bind(self.coherence, self.splitting)
+
+        self.dispatcher = Dispatcher(sim, run_stats)
+        for service in (
+            self.coherence,
+            self.syscalls,
+            self.splitting,
+            self.forwarding,
+            self.futexes,
+        ):
+            self.dispatcher.register(service)
+
+    # -- convenience views (debugging, tests) ----------------------------------
+
+    @property
+    def directory(self):
+        return self.coherence.directory
+
+    @property
+    def split(self):
+        return self.splitting.split
+
+    @property
+    def executor(self):
+        return self.syscalls.executor
 
     # -- lifecycle ------------------------------------------------------------
 
+    def _spawn_guarded(self, gen, name: str):
+        """Spawn a master process whose crashes surface as run failures."""
+        return self.sim.spawn(self.node._guarded(gen), name=name)
+
     def start(self) -> None:
         for nid in self.node_ids:
-            self.sim.spawn(
-                self.node._guarded(self._manager(nid)), name=f"mgr{nid}@master"
-            )
+            self._spawn_guarded(self._manager(nid), f"mgr{nid}@master")
 
     def _manager(self, nid: int):
         """One manager thread per node, serving that node's requests (§4)."""
@@ -159,408 +126,7 @@ class MasterRuntime:
             msg = yield q.get()
             if self._finished:
                 continue
-            if msg.kind == "page_request":
-                yield from self._handle_page_request(msg)
-            elif msg.kind == "syscall_request":
-                yield from self._handle_syscall(msg)
-            elif msg.kind == "merge_request":
-                yield from self._handle_merge(msg)
-            else:  # pragma: no cover - router keeps this unreachable
-                raise ProtocolError(f"master: unexpected {msg.kind} from {msg.src}")
-
-    # -- home-copy helpers ------------------------------------------------------
-
-    def _lock(self, page: int) -> SimLock:
-        lock = self._page_locks.get(page)
-        if lock is None:
-            lock = SimLock(self.sim)
-            self._page_locks[page] = lock
-        return lock
-
-    def _home_page(self, page: int) -> bytearray:
-        if page not in self.home:
-            return self.home.ensure(page, MSIState.SHARED)
-        return self.home.raw(page)
-
-    def home_bytes(self, addr: int, size: int) -> bytes:
-        self._home_page(page_of(addr))
-        return self.home.read_bytes(addr, size)
-
-    def home_write(self, addr: int, data: bytes) -> None:
-        self._home_page(page_of(addr))
-        self.home.write_bytes(addr, data)
-
-    def home_install(self, page: int, data: bytes) -> None:
-        self.home.install(page, data, MSIState.SHARED)
-
-    def home_snapshot(self, page: int) -> bytes:
-        self._home_page(page)
-        return self.home.snapshot(page)
-
-    # -- kernel page ownership (syscall pointer arguments, §4.3) -----------------
-
-    def own_page_for_read(self, page: int):
-        lock = self._lock(page)
-        yield lock.acquire()
-        try:
-            owner = self.directory.owner(page)
-            if owner is not None:
-                ack = yield self.endpoint.request(owner, WriteBack(page=page))
-                self.home_install(page, ack.data)
-                self.directory.downgrade_owner(page)
-                self.run_stats.protocol.downgrades += 1
-        finally:
-            lock.release()
-
-    def own_page_for_write(self, page: int):
-        lock = self._lock(page)
-        yield lock.acquire()
-        try:
-            yield from self._pull_home_and_invalidate(page)
-        finally:
-            lock.release()
-
-    def _pull_home_and_invalidate(self, page: int):
-        """Invalidate every copy, pulling the owner's data home first."""
-        owner = self.directory.owner(page)
-        holders = self.directory.holders(page)
-        if holders:
-            acks = yield self.sim.all_of(
-                [
-                    self.endpoint.request(n, Invalidate(page=page, want_data=(n == owner)))
-                    for n in holders
-                ]
-            )
-            for ack in acks:
-                if ack.data is not None:
-                    self.home_install(page, ack.data)
-            for n in holders:
-                self.trace.emit("page", n, "invalidate", page=page)
-            self.run_stats.protocol.invalidations += len(holders)
-        self.directory.invalidate_all(page)
-
-    # -- page requests (§4.2) ------------------------------------------------------
-
-    def _handle_page_request(self, msg):
-        cfg = self.config
-        page, node, write = msg.page, msg.src, msg.write
-        proto = self.run_stats.protocol
-        lock = self._lock(page)
-        yield lock.acquire()
-        try:
-            proto.page_requests += 1
-            if write:
-                proto.write_requests += 1
-            else:
-                proto.read_requests += 1
-
-            # Fast path: a read fault that raced a forwarded page — the
-            # directory already lists the node as sharer, so this is a cheap
-            # directory-lookup ack (home is fresh for any shared page).
-            if (
-                not write
-                and self.split.entry(page) is None
-                and self.directory.plan(node, page, write=False).already_granted
-            ):
-                yield self.sim.timeout(cfg.dsm_fast_service_ns)
-                # No payload: the node's copy arrived via PagePush already.
-                self.trace.emit("page", node, "fast-ack (already sharer)", page=page)
-                self.endpoint.reply(msg, PageData(page=page, write=False, ack_only=True))
-                return
-
-            yield self.sim.timeout(cfg.dsm_service_ns)
-
-            # Requests racing a split/merge retry against the new table.
-            if self.split.entry(page) is not None or page in self._retired_shadows:
-                proto.split_retry_replies += 1
-                self.endpoint.reply(msg, PageData(page=page, retry=True))
-                return
-
-            # False-sharing detection on write traffic (§5.1).  Shadow pages
-            # are never split again; instead, a shadow page that keeps
-            # ping-ponging means the split granularity was mis-inferred, so
-            # the page is merged back and blacklisted (the adaptive revert).
-            if cfg.splitting_enabled and write:
-                shadow_of = self.split.shadow_to_orig(page)
-                if shadow_of is not None:
-                    self._track_shadow_conflict(page, shadow_of[0], node, msg.offset)
-                elif page not in self._split_blacklist:
-                    decision = self.detector.record(page, node, msg.offset, msg.size)
-                    if decision is not None:
-                        yield from self._do_split(decision)
-                        proto.split_retry_replies += 1
-                        self.endpoint.reply(msg, PageData(page=page, retry=True))
-                        return
-
-            plan = self.directory.plan(node, page, write)
-            if plan.fetch_from is not None:
-                if write:
-                    ack = yield self.endpoint.request(
-                        plan.fetch_from, Invalidate(page=page, want_data=True)
-                    )
-                    proto.invalidations += 1
-                else:
-                    ack = yield self.endpoint.request(plan.fetch_from, WriteBack(page=page))
-                    proto.downgrades += 1
-                if ack.data is not None:
-                    self.home_install(page, ack.data)
-            others = [n for n in plan.invalidate if n != plan.fetch_from]
-            if others:
-                yield self.sim.all_of(
-                    [
-                        self.endpoint.request(n, Invalidate(page=page, want_data=False))
-                        for n in others
-                    ]
-                )
-                proto.invalidations += len(others)
-
-            data = self.home_snapshot(page)
-            self.directory.commit(node, page, write)
-            self.trace.emit(
-                "page", node, "grant M" if write else "grant S", page=page
-            )
-            self.endpoint.reply(msg, PageData(page=page, write=write, data=data))
-        finally:
-            lock.release()
-
-        if cfg.forwarding_enabled and not write:
-            pushes = self.readahead.record(node, page)
-            if pushes:
-                # Pushes run in their own process so the manager can keep
-                # serving this node's demand requests.
-                self.sim.spawn(
-                    self.node._guarded(self._pusher(node, pushes)),
-                    name=f"pusher->{node}",
-                )
-
-    def _pusher(self, node: int, pages: list[int]):
-        """Forward pages ahead of a detected sequential stream (§5.2).
-
-        Pushes are paced against the target's downlink backlog so a demand
-        reply never queues behind a long push burst, and each page's
-        directory commit + send is atomic under the page lock (an Invalidate
-        racing a push must be ordered after it on the wire)."""
-        proto = self.run_stats.protocol
-        fabric = self.endpoint.fabric
-        # Let the push frontier run well ahead of consumption (the paper's
-        # 1 GB walk approaches wire speed), while still bounding how long a
-        # demand reply can sit behind queued pushes.
-        pace_cap = 12 * fabric.serialization_ns(4096)
-        for p in pages:
-            backlog = fabric.downlink_backlog_ns(node)
-            if backlog > pace_cap:
-                yield self.sim.timeout(backlog - pace_cap)
-            lock = self._lock(p)
-            yield lock.acquire()
-            try:
-                if self.directory.owner(p) is not None:
-                    continue  # modified elsewhere: a push would need invalidations
-                if node in self.directory.holders(p):
-                    continue
-                if self.split.entry(p) is not None or p in self._retired_shadows:
-                    continue
-                yield self.sim.timeout(self.config.forwarding_push_ns)
-                self.directory.commit(node, p, write=False)
-                self.trace.emit("push", node, "forwarded", page=p)
-                self.endpoint.send(node, PagePush(page=p, data=self.home_snapshot(p)))
-                proto.pages_forwarded += 1
-            finally:
-                lock.release()
-
-    # -- page splitting (§5.1) ------------------------------------------------------
-
-    def _alloc_shadow(self) -> int:
-        page = self._shadow_cursor
-        self._shadow_cursor += 1
-        return page
-
-    def _do_split(self, decision: SplitDecision):
-        """Caller holds the original page's lock."""
-        cfg = self.config
-        page = decision.page
-        yield self.sim.timeout(cfg.split_service_ns)
-        yield from self._pull_home_and_invalidate(page)
-        content = self.home_snapshot(page)
-        shadows = tuple(self._alloc_shadow() for _ in range(decision.regions))
-        for s in shadows:
-            # Each shadow page carries the region at its original offset; we
-            # copy the whole page so offsets line up (Fig. 4) — only the
-            # region's bytes are ever authoritative.
-            self.home_install(s, content)
-        self.split.install(
-            SplitEntry(orig_page=page, shadow_pages=shadows, region_bytes=decision.region_bytes)
-        )
-        yield from self._broadcast_split_table()
-        self.detector.forget(page)
-        self.trace.emit(
-            "split", self.node.node_id,
-            f"split into {decision.regions} x {decision.region_bytes}B shadows",
-            page=page,
-        )
-        self.run_stats.protocol.splits += 1
-
-    def _broadcast_split_table(self):
-        entries = self.split.clone_state()
-        acks = yield self.sim.all_of(
-            [
-                self.endpoint.request(nid, SplitTableUpdate(entries=entries))
-                for nid in self.node_ids
-            ]
-        )
-        return acks
-
-    # -- merging (correctness escape hatch for region-crossing accesses) ----------
-
-    def _track_shadow_conflict(self, shadow: int, orig: int, node: int, offset: int) -> None:
-        """Count cross-node write ping-pong on a shadow page; past the
-        trigger, schedule a merge + blacklist (the split was mis-inferred)."""
-        last_node, last_off, n = self._shadow_conflicts.get(shadow, (-1, -1, 0))
-        if last_node >= 0 and node != last_node and offset != last_off:
-            n += 1
-        self._shadow_conflicts[shadow] = (node, offset, n)
-        if n >= self.config.splitting_trigger and orig not in self._merging:
-            self._merging.add(orig)
-            self._split_blacklist.add(orig)
-            self.trace.emit(
-                "split", self.node.node_id,
-                "shadow still ping-ponging: revert + blacklist", page=orig,
-            )
-            self.sim.spawn(
-                self.node._guarded(self._merge_and_release(orig)),
-                name=f"revert-split@{orig:#x}",
-            )
-
-    def _merge_and_release(self, orig: int):
-        try:
-            yield from self._do_merge(orig)
-        finally:
-            self._merging.discard(orig)
-
-    def _do_merge(self, orig: int):
-        """Merge a split page's shadows back into the original (locks the
-        original and every shadow in sorted order; single-lock managers and
-        disjoint merge lock-sets cannot deadlock against this)."""
-        entry = self.split.entry(orig)
-        if entry is None:
-            return
-        pages = sorted([orig, *entry.shadow_pages])
-        locks = [self._lock(p) for p in pages]
-        for lock in locks:
-            yield lock.acquire()
-        try:
-            if self.split.entry(orig) is None:
-                return  # merged concurrently
-            yield self.sim.timeout(self.config.merge_service_ns)
-            rb = entry.region_bytes
-            for k, shadow in enumerate(entry.shadow_pages):
-                yield from self._pull_home_and_invalidate(shadow)
-                region = self.home_bytes(shadow * PAGE_SIZE + k * rb, rb)
-                self.home_write(orig * PAGE_SIZE + k * rb, region)
-                self._retired_shadows.add(shadow)
-                self._shadow_conflicts.pop(shadow, None)
-            self.split.remove(orig)
-            yield from self._broadcast_split_table()
-            self.trace.emit("split", self.node.node_id, "merged back", page=orig)
-            self.run_stats.protocol.merges += 1
-        finally:
-            for lock in reversed(locks):
-                lock.release()
-
-    def _handle_merge(self, msg):
-        from repro.net.messages import Ack
-
-        yield from self._do_merge(msg.page)
-        # A guest access straddled the regions: this page must stay whole.
-        self._split_blacklist.add(msg.page)
-        self.endpoint.reply(msg, Ack())
-
-    # -- delegated syscalls (§4.3) ---------------------------------------------------
-
-    def _handle_syscall(self, msg):
-        cfg = self.config
-        yield self.sim.timeout(cfg.syscall_service_ns)
-        from repro.kernel.sysnums import sys_name
-
-        self.trace.emit("syscall", msg.src, sys_name(msg.sysno), tid=msg.tid)
-        result: SyscallResult = yield from self.executor.execute(
-            msg.tid, msg.src, msg.sysno, msg.args
-        )
-        proto = self.run_stats.protocol
-
-        if result.action == "clone":
-            yield from self._handle_clone(msg, result)
-            return
-        if result.action == "migrate":
-            yield from self._handle_migrate(msg, result)
-            return
-
-        for waiter in result.woken:
-            proto.futex_wakes += 1
-            self.endpoint.send(waiter.node, FutexWake(tid=waiter.tid, retval=0))
-
-        if result.action == "blocked":
-            proto.futex_waits += 1
-            self.endpoint.reply(msg, SyscallReply(parked=True))
-        elif result.action == "exit":
-            self.endpoint.reply(msg, SyscallReply(exited=True))
-        elif result.action == "exit_group":
-            self.endpoint.reply(msg, SyscallReply(exited=True))
-            self._finish(result.exit_status)
-        else:  # "return" / "yield"
-            self.endpoint.reply(msg, SyscallReply(retval=result.retval))
-
-    def _handle_clone(self, msg, result: SyscallResult):
-        clone = result.clone
-        hint = (msg.context or {}).get("hint_group")
-        node_id = self.placer.place(hint)
-        ctid = clone.ctid if clone.flags & CLONE_CHILD_CLEARTID else 0
-        rec = self.state.threads.create(
-            node=node_id, parent_tid=clone.parent_tid, ctid=ctid, hint_group=hint
-        )
-        mem = MasterGuestMemory(self)
-        if clone.flags & CLONE_PARENT_SETTID and clone.ptid:
-            yield from mem.write_guest(clone.ptid, rec.tid.to_bytes(8, "little"))
-        if clone.flags & CLONE_CHILD_SETTID and clone.ctid:
-            yield from mem.write_guest(clone.ctid, rec.tid.to_bytes(8, "little"))
-        child = build_child_context(msg.context, clone, rec.tid, hint)
-        if node_id != self.node.node_id:
-            self.run_stats.protocol.remote_thread_spawns += 1
-        self.trace.emit(
-            "thread", node_id,
-            f"clone: placed (hint={hint})", tid=rec.tid,
-        )
-        yield self.endpoint.request(node_id, SpawnThread(tid=rec.tid, context=child))
-        self.endpoint.reply(msg, SyscallReply(retval=rec.tid))
-
-    def _handle_migrate(self, msg, result: SyscallResult):
-        """Live thread migration (sched_setaffinity): re-place the calling
-        thread.  The syscall request already carries the CPU context, so the
-        move reuses the remote-creation path: ship the context to the target
-        node and tell the source node to forget the thread.  The thread's
-        data follows through the coherence protocol, as at creation (§4.1).
-        """
-        from repro.kernel.sysnums import ERRNO
-
-        target = result.migrate_to
-        if target not in self.node_ids:
-            self.endpoint.reply(
-                msg, SyscallReply(retval=(-ERRNO.EINVAL) & 0xFFFF_FFFF_FFFF_FFFF)
-            )
-            return
-        if target == msg.src:
-            self.endpoint.reply(msg, SyscallReply(retval=0))
-            return
-        self.state.threads.move(msg.tid, target)
-        context = dict(msg.context)
-        regs = list(context["regs"])
-        regs[10] = 0  # a0: sched_setaffinity returns 0 on the new node
-        context["regs"] = regs
-        self.trace.emit(
-            "thread", target, f"migrated from n{msg.src}", tid=msg.tid
-        )
-        self.run_stats.protocol.thread_migrations += 1
-        yield self.endpoint.request(target, SpawnThread(tid=msg.tid, context=context))
-        self.endpoint.reply(msg, SyscallReply(migrated=True))
+            yield from self.dispatcher.dispatch(msg)
 
     def _finish(self, status: int) -> None:
         self.trace.emit("run", self.node.node_id, f"exit_group({status})")

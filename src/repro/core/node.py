@@ -4,8 +4,10 @@ Each node runs:
 
 * ``cores_per_node`` *core* processes executing guest (TCG-)threads in
   quanta through the DBT engine;
-* one *communicator* process servicing coherence commands, futex wakeups,
-  remote thread spawns and the split-table broadcasts from the master;
+* one *communicator* process pumping inbound commands through a
+  :class:`~repro.core.services.base.Dispatcher` over the node-side services
+  (coherence client, split-table client, thread control — see
+  :mod:`repro.core.services.nodeside`);
 * per-fault/per-syscall handler processes, so a thread waiting on a remote
   page or a delegated syscall frees its core for other runnable threads
   (the host OS would deschedule the blocked TCG thread the same way).
@@ -23,6 +25,12 @@ from repro.core.config import DQEMUConfig
 from repro.core.dsmmem import DSMMemory, LocalMemory, MergeStall
 from repro.core.gthread import GuestThread, GuestThreadState
 from repro.core.llsc import LLSCTable
+from repro.core.services.base import Dispatcher
+from repro.core.services.nodeside import (
+    NodeCoherenceService,
+    NodeControlService,
+    NodeSplitTableService,
+)
 from repro.core.stats import RunStats
 from repro.dbt.cpu import CPUState
 from repro.dbt.engine import EngineTiming, ExecutionEngine
@@ -33,17 +41,10 @@ from repro.kernel.sysnums import SYS
 from repro.mem.api import M64, PageStall
 from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
-from repro.mem.splitmap import SplitEntry, SplitMap
+from repro.mem.splitmap import SplitMap
 from repro.net.endpoint import Endpoint
 from repro.net.fabric import Fabric
-from repro.net.messages import (
-    Ack,
-    InvalidateAck,
-    MergeRequest,
-    PageRequest,
-    SpawnAck,
-    SyscallRequest,
-)
+from repro.net.messages import MergeRequest, PageRequest, SyscallRequest
 from repro.sim.engine import Simulator
 from repro.sim.sync import SimQueue
 
@@ -54,17 +55,12 @@ __all__ = ["NodeRuntime", "COMMAND_KINDS"]
 
 A0, A7 = 10, 17
 
-#: Inbound kinds handled by a node's communicator (vs. master managers).
-COMMAND_KINDS = frozenset(
-    {
-        "invalidate",
-        "write_back",
-        "page_push",
-        "split_table_update",
-        "futex_wake",
-        "spawn_thread",
-        "shutdown",
-    }
+#: Inbound kinds handled by a node's communicator (vs. master managers),
+#: derived from the node-side services' routing claims.
+COMMAND_KINDS = (
+    NodeCoherenceService.handled_kinds
+    | NodeSplitTableService.handled_kinds
+    | NodeControlService.handled_kinds
 )
 
 
@@ -92,8 +88,16 @@ class NodeRuntime:
         self.on_failure = on_failure or (lambda exc: (_ for _ in ()).throw(exc))
 
         self.endpoint = Endpoint(sim, fabric, node_id)
+        self.dispatcher = Dispatcher(sim, run_stats)
+        for service in (
+            NodeCoherenceService(self),
+            NodeSplitTableService(self),
+            NodeControlService(self),
+        ):
+            self.dispatcher.register(service)
+        command_kinds = self.dispatcher.kinds
         self.endpoint.set_router(
-            lambda msg: "comm" if msg.kind in COMMAND_KINDS else ("mgr", msg.src)
+            lambda msg: "comm" if msg.kind in command_kinds else ("mgr", msg.src)
         )
         self.pagestore = PageStore()
         self.splitmap = SplitMap()
@@ -392,57 +396,6 @@ class NodeRuntime:
         while True:
             msg = yield q.get()
             yield self.sim.timeout(cfg.slave_coherence_service_ns)
-            kind = msg.kind
-            if kind == "invalidate":
-                data = None
-                if msg.page in self.pagestore:
-                    if self.pagestore.state(msg.page) is MSIState.MODIFIED:
-                        data = self.pagestore.snapshot(msg.page)
-                    self.pagestore.drop(msg.page)
-                self.llsc.kill_page(msg.page)
-                self.engine.cache.invalidate_page(msg.page)
-                self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
-            elif kind == "write_back":
-                data = self.pagestore.snapshot(msg.page)
-                self.pagestore.set_state(msg.page, MSIState.SHARED)
-                self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
-            elif kind == "page_push":
-                if self.pagestore.state(msg.page) is MSIState.INVALID:
-                    self.pagestore.install(msg.page, msg.data, MSIState.SHARED)
-                    gate = self._push_gates.pop(msg.page, None)
-                    if gate is not None and not gate.triggered:
-                        gate.succeed()
-            elif kind == "split_table_update":
-                self._apply_split_table(msg.entries)
-                self.endpoint.reply(msg, Ack())
-            elif kind == "futex_wake":
-                self._wake_thread(msg.tid, msg.retval)
-            elif kind == "spawn_thread":
-                cpu = CPUState.from_snapshot(msg.context)
-                self.add_thread(cpu)
-                self.endpoint.reply(msg, SpawnAck(tid=msg.tid))
-            elif kind == "shutdown":
-                self.shutdown = True
-                for _ in range(self.n_cores):
-                    self.runqueue.put(None)
-                self.endpoint.reply(msg, Ack())
+            yield from self.dispatcher.dispatch(msg)
+            if self.shutdown:
                 return
-            else:  # pragma: no cover - routing table keeps this unreachable
-                raise ProtocolError(f"node {self.node_id}: unexpected {kind}")
-
-    def _apply_split_table(self, entries: tuple[SplitEntry, ...]) -> None:
-        """Install the master's full split table, dropping stale copies."""
-        new = {e.orig_page: e for e in entries}
-        old = {e.orig_page: e for e in self.splitmap.entries()}
-        for orig, entry in old.items():
-            if orig not in new:
-                # merged back: local shadow copies are stale
-                self.splitmap.remove(orig)
-                for shadow in entry.shadow_pages:
-                    self.pagestore.drop(shadow)
-                    self.llsc.kill_page(shadow)
-        for orig, entry in new.items():
-            if orig not in old:
-                self.splitmap.install(entry)
-                self.pagestore.drop(orig)
-                self.llsc.kill_page(orig)

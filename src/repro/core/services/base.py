@@ -1,0 +1,95 @@
+"""Service protocol and message dispatcher for the runtime service layer.
+
+The master and node runtimes are composition roots over a set of
+*services*: each service owns one protocol subsystem (coherence, syscall
+delegation, futexes, splitting, forwarding, ...), declares the message
+kinds it handles, and exposes a generator ``handle(msg)`` run inside the
+owning runtime's manager/communicator process.  The :class:`Dispatcher`
+routes inbound frames by kind and keeps uniform per-service counters
+(requests served, virtual-ns busy time) in
+:class:`~repro.core.stats.RunStats` so experiments can attribute
+master-link load per subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Protocol, runtime_checkable
+
+from repro.core.stats import RunStats, ServiceStats
+from repro.errors import ProtocolError
+from repro.sim.engine import Simulator
+
+__all__ = ["Service", "Dispatcher"]
+
+
+@runtime_checkable
+class Service(Protocol):
+    """One protocol subsystem of a runtime.
+
+    ``name`` keys the service's :class:`~repro.core.stats.ServiceStats`
+    entry; ``handled_kinds`` is the set of message kinds routed to it (may
+    be empty for internal services driven by their peers, e.g. the master's
+    futex service, which is invoked by the syscall service rather than by a
+    wire frame).
+    """
+
+    name: str
+    handled_kinds: frozenset[str]
+
+    def handle(self, msg: Any) -> Generator[Any, Any, Any]:
+        ...
+
+
+class Dispatcher:
+    """Routes inbound messages to the service registered for their kind."""
+
+    def __init__(self, sim: Simulator, run_stats: RunStats):
+        self.sim = sim
+        self.run_stats = run_stats
+        self.services: list[Service] = []
+        self._routes: dict[str, Service] = {}
+
+    def register(self, service: Service) -> Service:
+        """Add a service, claiming its ``handled_kinds``; returns it."""
+        for kind in service.handled_kinds:
+            other = self._routes.get(kind)
+            if other is not None:
+                raise ProtocolError(
+                    f"kind {kind!r} claimed by both {other.name!r} and {service.name!r}"
+                )
+            self._routes[kind] = service
+        self.services.append(service)
+        # Eager stats entry: every registered service shows up in RunStats,
+        # including ones that served zero requests this run.
+        self.run_stats.service(service.name)
+        return service
+
+    @property
+    def kinds(self) -> frozenset[str]:
+        """Every message kind some registered service handles."""
+        return frozenset(self._routes)
+
+    def service_for(self, kind: str) -> Service:
+        try:
+            return self._routes[kind]
+        except KeyError:
+            raise ProtocolError(f"no service registered for kind {kind!r}") from None
+
+    def stats_of(self, service: Service) -> ServiceStats:
+        return self.run_stats.service(service.name)
+
+    def dispatch(self, msg: Any) -> Generator[Any, Any, Any]:
+        """Route ``msg`` to its service, billing requests and busy time."""
+        service = self._routes.get(msg.kind)
+        if service is None:
+            raise ProtocolError(
+                f"no service registered for kind {msg.kind!r} (from node {msg.src})"
+            )
+        stats = self.run_stats.service(service.name)
+        stats.requests += 1
+        t0 = self.sim.now
+        try:
+            result = yield from service.handle(msg)
+        finally:
+            stats.busy_ns += self.sim.now - t0
+        return result

@@ -1,0 +1,263 @@
+"""Master coherence service: page directory + MSI transactions (paper §4.2).
+
+Owns the authoritative *home* copies, the page directory, and the per-page
+locks every MSI transaction serializes on.  Handles ``page_request`` frames
+and exposes the kernel-facing page-ownership helpers (§4.3 pointer-argument
+migration) used by the syscall service's guest-memory accessor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.core.config import DQEMUConfig
+from repro.core.stats import RunStats
+from repro.mem.directory import Directory
+from repro.mem.layout import PAGE_SIZE, page_of, page_offset
+from repro.mem.msi import MSIState
+from repro.mem.pagestore import PageStore
+from repro.net.endpoint import Endpoint
+from repro.net.messages import Invalidate, PageData, WriteBack
+from repro.sim.engine import Simulator
+from repro.sim.sync import SimLock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.services.forwarding import ForwardingService
+    from repro.core.services.splitting import SplittingService
+
+__all__ = ["CoherenceService", "CoherentGuestMemory"]
+
+
+class CoherentGuestMemory:
+    """Kernel access to guest memory through the coherence protocol.
+
+    Pointer-argument pages are migrated to the master before the syscall
+    reads or writes them (§4.3): reads pull the freshest copy home (owner
+    downgraded), writes invalidate every copy so slaves re-fetch.
+    """
+
+    def __init__(self, coherence: "CoherenceService", splitting: "SplittingService"):
+        self.coherence = coherence
+        self.splitting = splitting
+
+    def _spans(self, addr: int, size: int):
+        """Split [addr, addr+size) into translated (taddr, length) chunks that
+        stay within one page and one split region."""
+        pos = addr
+        end = addr + size
+        while pos < end:
+            page = page_of(pos)
+            off = page_offset(pos)
+            entry = self.splitting.entry(page)
+            if entry is not None:
+                step = min(end - pos, entry.region_bytes - off % entry.region_bytes)
+                taddr = entry.shadow_pages[off // entry.region_bytes] * PAGE_SIZE + off
+            else:
+                step = min(end - pos, PAGE_SIZE - off)
+                taddr = pos
+            yield taddr, step
+            pos += step
+
+    def read_guest(self, addr: int, size: int) -> Generator:
+        co = self.coherence
+        out = bytearray()
+        for taddr, step in list(self._spans(addr, size)):
+            yield from co.own_page_for_read(page_of(taddr))
+            out += co.home_bytes(taddr, step)
+        return bytes(out)
+
+    def write_guest(self, addr: int, data: bytes) -> Generator:
+        co = self.coherence
+        pos = 0
+        for taddr, step in list(self._spans(addr, len(data))):
+            yield from co.own_page_for_write(page_of(taddr))
+            co.home_write(taddr, data[pos : pos + step])
+            pos += step
+        return None
+
+
+class CoherenceService:
+    name = "coherence"
+    handled_kinds = frozenset({"page_request"})
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DQEMUConfig,
+        endpoint: Endpoint,
+        trace,
+        run_stats: RunStats,
+        home: PageStore,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.endpoint = endpoint
+        self.trace = trace
+        self.run_stats = run_stats
+        self.home = home
+        self.directory = Directory()
+        self._page_locks: dict[int, SimLock] = {}
+        # Bound by the composition root (MasterRuntime.__init__).
+        self.splitting: "SplittingService" = None  # type: ignore[assignment]
+        self.forwarding: "ForwardingService" = None  # type: ignore[assignment]
+
+    def bind(self, splitting: "SplittingService", forwarding: "ForwardingService") -> None:
+        self.splitting = splitting
+        self.forwarding = forwarding
+
+    # -- per-page serialization ---------------------------------------------
+
+    def lock(self, page: int) -> SimLock:
+        lock = self._page_locks.get(page)
+        if lock is None:
+            lock = SimLock(self.sim)
+            self._page_locks[page] = lock
+        return lock
+
+    # -- home-copy helpers ------------------------------------------------------
+
+    def _home_page(self, page: int) -> bytearray:
+        if page not in self.home:
+            return self.home.ensure(page, MSIState.SHARED)
+        return self.home.raw(page)
+
+    def home_bytes(self, addr: int, size: int) -> bytes:
+        self._home_page(page_of(addr))
+        return self.home.read_bytes(addr, size)
+
+    def home_write(self, addr: int, data: bytes) -> None:
+        self._home_page(page_of(addr))
+        self.home.write_bytes(addr, data)
+
+    def home_install(self, page: int, data: bytes) -> None:
+        self.home.install(page, data, MSIState.SHARED)
+
+    def home_snapshot(self, page: int) -> bytes:
+        self._home_page(page)
+        return self.home.snapshot(page)
+
+    # -- kernel page ownership (syscall pointer arguments, §4.3) -----------------
+
+    def own_page_for_read(self, page: int):
+        lock = self.lock(page)
+        yield lock.acquire()
+        try:
+            owner = self.directory.owner(page)
+            if owner is not None:
+                ack = yield self.endpoint.request(owner, WriteBack(page=page))
+                self.home_install(page, ack.data)
+                self.directory.downgrade_owner(page)
+                self.run_stats.protocol.downgrades += 1
+        finally:
+            lock.release()
+
+    def own_page_for_write(self, page: int):
+        lock = self.lock(page)
+        yield lock.acquire()
+        try:
+            yield from self.pull_home_and_invalidate(page)
+        finally:
+            lock.release()
+
+    def pull_home_and_invalidate(self, page: int):
+        """Invalidate every copy, pulling the owner's data home first.
+
+        Caller holds the page's lock."""
+        owner = self.directory.owner(page)
+        holders = self.directory.holders(page)
+        if holders:
+            acks = yield self.sim.all_of(
+                [
+                    self.endpoint.request(n, Invalidate(page=page, want_data=(n == owner)))
+                    for n in holders
+                ]
+            )
+            for ack in acks:
+                if ack.data is not None:
+                    self.home_install(page, ack.data)
+            for n in holders:
+                self.trace.emit("page", n, "invalidate", page=page)
+            self.run_stats.protocol.invalidations += len(holders)
+        self.directory.invalidate_all(page)
+
+    # -- page requests (§4.2) ------------------------------------------------------
+
+    def handle(self, msg):
+        cfg = self.config
+        page, node, write = msg.page, msg.src, msg.write
+        proto = self.run_stats.protocol
+        lock = self.lock(page)
+        yield lock.acquire()
+        try:
+            proto.page_requests += 1
+            if write:
+                proto.write_requests += 1
+            else:
+                proto.read_requests += 1
+
+            # Fast path: a read fault that raced a forwarded page — the
+            # directory already lists the node as sharer, so this is a cheap
+            # directory-lookup ack (home is fresh for any shared page).
+            if (
+                not write
+                and self.splitting.entry(page) is None
+                and self.directory.plan(node, page, write=False).already_granted
+            ):
+                yield self.sim.timeout(cfg.dsm_fast_service_ns)
+                # No payload: the node's copy arrived via PagePush already.
+                self.trace.emit("page", node, "fast-ack (already sharer)", page=page)
+                self.endpoint.reply(msg, PageData(page=page, write=False, ack_only=True))
+                return
+
+            yield self.sim.timeout(cfg.dsm_service_ns)
+
+            # Requests racing a split/merge retry against the new table.
+            if self.splitting.entry(page) is not None or self.splitting.is_retired(page):
+                proto.split_retry_replies += 1
+                self.endpoint.reply(msg, PageData(page=page, retry=True))
+                return
+
+            # False-sharing detection on write traffic (§5.1) lives in the
+            # splitting service; a performed split answers with a retry.
+            if cfg.splitting_enabled and write:
+                did_split = yield from self.splitting.observe_write(
+                    page, node, msg.offset, msg.size
+                )
+                if did_split:
+                    proto.split_retry_replies += 1
+                    self.endpoint.reply(msg, PageData(page=page, retry=True))
+                    return
+
+            plan = self.directory.plan(node, page, write)
+            if plan.fetch_from is not None:
+                if write:
+                    ack = yield self.endpoint.request(
+                        plan.fetch_from, Invalidate(page=page, want_data=True)
+                    )
+                    proto.invalidations += 1
+                else:
+                    ack = yield self.endpoint.request(plan.fetch_from, WriteBack(page=page))
+                    proto.downgrades += 1
+                if ack.data is not None:
+                    self.home_install(page, ack.data)
+            others = [n for n in plan.invalidate if n != plan.fetch_from]
+            if others:
+                yield self.sim.all_of(
+                    [
+                        self.endpoint.request(n, Invalidate(page=page, want_data=False))
+                        for n in others
+                    ]
+                )
+                proto.invalidations += len(others)
+
+            data = self.home_snapshot(page)
+            self.directory.commit(node, page, write)
+            self.trace.emit(
+                "page", node, "grant M" if write else "grant S", page=page
+            )
+            self.endpoint.reply(msg, PageData(page=page, write=write, data=data))
+        finally:
+            lock.release()
+
+        if cfg.forwarding_enabled and not write:
+            self.forwarding.note_read(node, page)

@@ -1,0 +1,112 @@
+"""Master read-ahead service: sequential-stream data forwarding (paper §5.2).
+
+Owns the per-(node, stream) read-ahead state; the coherence service feeds
+it every served read fault.  Detected streams spawn a dedicated *pusher*
+process per batch so the manager keeps serving demand requests; pushes are
+paced against the target's downlink backlog.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.core.config import DQEMUConfig
+from repro.core.forwarding import ReadAheadEngine
+from repro.core.stats import RunStats
+from repro.net.endpoint import Endpoint
+from repro.net.messages import PagePush
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.services.coherence import CoherenceService
+    from repro.core.services.splitting import SplittingService
+
+__all__ = ["ForwardingService"]
+
+
+class ForwardingService:
+    name = "forwarding"
+    handled_kinds = frozenset()  # internal: driven by the coherence service
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DQEMUConfig,
+        endpoint: Endpoint,
+        trace,
+        run_stats: RunStats,
+        spawn_guarded: Callable[[Generator, str], object],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.endpoint = endpoint
+        self.trace = trace
+        self.run_stats = run_stats
+        self.spawn_guarded = spawn_guarded
+        self.readahead = ReadAheadEngine(
+            trigger=config.forwarding_trigger,
+            initial_window=config.forwarding_initial_window,
+            max_window=config.forwarding_max_window,
+        )
+        self.coherence: "CoherenceService" = None  # type: ignore[assignment]
+        self.splitting: "SplittingService" = None  # type: ignore[assignment]
+
+    def bind(self, coherence: "CoherenceService", splitting: "SplittingService") -> None:
+        self.coherence = coherence
+        self.splitting = splitting
+
+    def handle(self, msg):  # pragma: no cover - no wire-facing kinds
+        raise NotImplementedError("forwarding service handles no inbound kinds")
+        yield
+
+    # -- stream detection (fed by the coherence service on read grants) ---------
+
+    def note_read(self, node: int, page: int) -> None:
+        """Record a served read fault; spawn a pusher if a stream triggers."""
+        pushes = self.readahead.record(node, page)
+        if pushes:
+            # Pushes run in their own process so the manager can keep
+            # serving this node's demand requests.
+            stats = self.run_stats.service(self.name)
+            stats.requests += 1
+            self.spawn_guarded(self._pusher(node, pushes), f"pusher->{node}")
+
+    def _pusher(self, node: int, pages: list[int]):
+        """Forward pages ahead of a detected sequential stream (§5.2).
+
+        Pushes are paced against the target's downlink backlog so a demand
+        reply never queues behind a long push burst, and each page's
+        directory commit + send is atomic under the page lock (an Invalidate
+        racing a push must be ordered after it on the wire)."""
+        co = self.coherence
+        proto = self.run_stats.protocol
+        stats = self.run_stats.service(self.name)
+        fabric = self.endpoint.fabric
+        t0 = self.sim.now
+        # Let the push frontier run well ahead of consumption (the paper's
+        # 1 GB walk approaches wire speed), while still bounding how long a
+        # demand reply can sit behind queued pushes.
+        pace_cap = 12 * fabric.serialization_ns(4096)
+        try:
+            for p in pages:
+                backlog = fabric.downlink_backlog_ns(node)
+                if backlog > pace_cap:
+                    yield self.sim.timeout(backlog - pace_cap)
+                lock = co.lock(p)
+                yield lock.acquire()
+                try:
+                    if co.directory.owner(p) is not None:
+                        continue  # modified elsewhere: a push would need invalidations
+                    if node in co.directory.holders(p):
+                        continue
+                    if self.splitting.entry(p) is not None or self.splitting.is_retired(p):
+                        continue
+                    yield self.sim.timeout(self.config.forwarding_push_ns)
+                    co.directory.commit(node, p, write=False)
+                    self.trace.emit("push", node, "forwarded", page=p)
+                    self.endpoint.send(node, PagePush(page=p, data=co.home_snapshot(p)))
+                    proto.pages_forwarded += 1
+                finally:
+                    lock.release()
+        finally:
+            stats.busy_ns += self.sim.now - t0

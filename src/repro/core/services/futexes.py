@@ -1,0 +1,46 @@
+"""Master futex service: distributed wait/wake delivery (paper §4.4).
+
+The distributed futex *table* lives in the kernel layer
+(:class:`~repro.kernel.futex.FutexTable`, part of the centralized system
+state); this service is the runtime half — parking a waiter's delegated
+request and delivering ``FutexWake`` frames to each woken waiter's node.
+The syscall service drives it from futex syscall results; no wire frame
+routes here directly on the master.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import RunStats
+from repro.kernel.futex import Waiter
+from repro.net.endpoint import Endpoint
+from repro.net.messages import FutexWake, Message, SyscallReply
+
+__all__ = ["FutexService"]
+
+
+class FutexService:
+    name = "futex"
+    handled_kinds = frozenset()  # internal: driven by the syscall service
+
+    def __init__(self, endpoint: Endpoint, run_stats: RunStats) -> None:
+        self.endpoint = endpoint
+        self.run_stats = run_stats
+
+    def handle(self, msg):  # pragma: no cover - no wire-facing kinds
+        raise NotImplementedError("futex service handles no inbound kinds")
+        yield
+
+    def wake(self, waiters: list[Waiter]) -> None:
+        """Send a ``FutexWake`` to each waiter's node."""
+        proto = self.run_stats.protocol
+        stats = self.run_stats.service(self.name)
+        for waiter in waiters:
+            proto.futex_wakes += 1
+            stats.requests += 1
+            self.endpoint.send(waiter.node, FutexWake(tid=waiter.tid, retval=0))
+
+    def park(self, msg: Message) -> None:
+        """Answer a delegated ``futex_wait`` with a parked reply."""
+        self.run_stats.protocol.futex_waits += 1
+        self.run_stats.service(self.name).requests += 1
+        self.endpoint.reply(msg, SyscallReply(parked=True))

@@ -1,0 +1,134 @@
+"""Slave-side services: the node communicator's protocol subsystems.
+
+Every node's communicator process is a dispatcher over three services
+mirroring the master-side decomposition: the coherence client (invalidate /
+write-back / forwarded pages), the split-table client, and thread control
+(remote spawn, futex wake, shutdown).  Services keep a reference to their
+:class:`~repro.core.node.NodeRuntime` because the state they act on (page
+store, run queue, guest threads) is shared with the execution engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dbt.cpu import CPUState
+from repro.mem.msi import MSIState
+from repro.mem.splitmap import SplitEntry
+from repro.net.messages import Ack, InvalidateAck, SpawnAck
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import NodeRuntime
+
+__all__ = ["NodeCoherenceService", "NodeSplitTableService", "NodeControlService"]
+
+
+class _NodeService:
+    """Shared plumbing: a per-kind method table over the owning node."""
+
+    name = "node"
+    handled_kinds: frozenset[str] = frozenset()
+
+    def __init__(self, node: "NodeRuntime") -> None:
+        self.node = node
+        self.endpoint = node.endpoint
+
+    def handle(self, msg):
+        yield from getattr(self, "_on_" + msg.kind)(msg)
+
+
+class NodeCoherenceService(_NodeService):
+    """Coherence commands from the master against the local page store."""
+
+    name = "node.coherence"
+    handled_kinds = frozenset({"invalidate", "write_back", "page_push"})
+
+    def _on_invalidate(self, msg):
+        node = self.node
+        data = None
+        if msg.page in node.pagestore:
+            if node.pagestore.state(msg.page) is MSIState.MODIFIED:
+                data = node.pagestore.snapshot(msg.page)
+            node.pagestore.drop(msg.page)
+        node.llsc.kill_page(msg.page)
+        node.engine.cache.invalidate_page(msg.page)
+        self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _on_write_back(self, msg):
+        node = self.node
+        data = node.pagestore.snapshot(msg.page)
+        node.pagestore.set_state(msg.page, MSIState.SHARED)
+        self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _on_page_push(self, msg):
+        node = self.node
+        if node.pagestore.state(msg.page) is MSIState.INVALID:
+            node.pagestore.install(msg.page, msg.data, MSIState.SHARED)
+            gate = node._push_gates.pop(msg.page, None)
+            if gate is not None and not gate.triggered:
+                gate.succeed()
+        return
+        yield  # pragma: no cover - generator protocol
+
+
+class NodeSplitTableService(_NodeService):
+    """Split-table broadcasts: keep the local shadow-page table current."""
+
+    name = "node.split_table"
+    handled_kinds = frozenset({"split_table_update"})
+
+    def _on_split_table_update(self, msg):
+        self._apply_split_table(msg.entries)
+        self.endpoint.reply(msg, Ack())
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _apply_split_table(self, entries: tuple[SplitEntry, ...]) -> None:
+        """Install the master's full split table, dropping stale copies."""
+        node = self.node
+        new = {e.orig_page: e for e in entries}
+        old = {e.orig_page: e for e in node.splitmap.entries()}
+        for orig, entry in old.items():
+            if orig not in new:
+                # merged back: local shadow copies are stale
+                node.splitmap.remove(orig)
+                for shadow in entry.shadow_pages:
+                    node.pagestore.drop(shadow)
+                    node.llsc.kill_page(shadow)
+        for orig, entry in new.items():
+            if orig not in old:
+                node.splitmap.install(entry)
+                node.pagestore.drop(orig)
+                node.llsc.kill_page(orig)
+
+
+class NodeControlService(_NodeService):
+    """Thread control: remote spawns, futex wakeups, and shutdown."""
+
+    name = "node.control"
+    handled_kinds = frozenset({"spawn_thread", "futex_wake", "shutdown"})
+
+    def _on_spawn_thread(self, msg):
+        cpu = CPUState.from_snapshot(msg.context)
+        self.node.add_thread(cpu)
+        self.endpoint.reply(msg, SpawnAck(tid=msg.tid))
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _on_futex_wake(self, msg):
+        self.node._wake_thread(msg.tid, msg.retval)
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _on_shutdown(self, msg):
+        node = self.node
+        node.shutdown = True
+        for _ in range(node.n_cores):
+            node.runqueue.put(None)
+        self.endpoint.reply(msg, Ack())
+        return
+        yield  # pragma: no cover - generator protocol

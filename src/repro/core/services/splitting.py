@@ -1,0 +1,198 @@
+"""Master false-sharing service: page splitting and merge-back (paper §5.1).
+
+Owns the canonical split table, the false-sharing detector, the shadow-page
+allocator, and the adaptive-revert state.  Write traffic is fed in by the
+coherence service (:meth:`SplittingService.observe_write`); region-crossing
+accesses arrive as ``merge_request`` frames.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.core.config import DQEMUConfig
+from repro.core.splitting import FalseSharingDetector, SplitDecision
+from repro.core.stats import RunStats
+from repro.mem.layout import PAGE_SIZE, SHADOW_BASE
+from repro.mem.splitmap import SplitEntry, SplitMap
+from repro.net.endpoint import Endpoint
+from repro.net.messages import Ack, SplitTableUpdate
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.services.coherence import CoherenceService
+
+__all__ = ["SplittingService"]
+
+
+class SplittingService:
+    name = "splitting"
+    handled_kinds = frozenset({"merge_request"})
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DQEMUConfig,
+        endpoint: Endpoint,
+        trace,
+        run_stats: RunStats,
+        node_ids: list[int],
+        node_id: int,
+        spawn_guarded: Callable[[Generator, str], object],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.endpoint = endpoint
+        self.trace = trace
+        self.run_stats = run_stats
+        self.node_ids = list(node_ids)
+        self.node_id = node_id
+        self.spawn_guarded = spawn_guarded
+        self.split = SplitMap()  # canonical split table
+        self.detector = FalseSharingDetector(
+            trigger=config.splitting_trigger,
+            history=config.splitting_history,
+            max_regions=config.splitting_max_regions,
+        )
+        self._shadow_cursor = SHADOW_BASE // PAGE_SIZE
+        self._retired_shadows: set[int] = set()
+        # Adaptive revert (§5.1 "adaptive scheme"): a split whose shadow pages
+        # keep ping-ponging was mis-inferred; merge it back and never re-split.
+        self._shadow_conflicts: dict[int, tuple[int, int, int]] = {}  # shadow -> (node, off, n)
+        self._split_blacklist: set[int] = set()
+        self._merging: set[int] = set()
+        self.coherence: "CoherenceService" = None  # type: ignore[assignment]
+
+    def bind(self, coherence: "CoherenceService") -> None:
+        self.coherence = coherence
+
+    # -- split-table queries (coherence fast paths, guest-memory spans) ---------
+
+    def entry(self, page: int):
+        return self.split.entry(page)
+
+    def is_retired(self, page: int) -> bool:
+        return page in self._retired_shadows
+
+    # -- detection (fed by the coherence service on write faults) ---------------
+
+    def observe_write(self, page: int, node: int, offset: int, size: int):
+        """Feed one write fault to the detector; returns True if the page was
+        split (the triggering request must then be answered with a retry)."""
+        shadow_of = self.split.shadow_to_orig(page)
+        if shadow_of is not None:
+            self._track_shadow_conflict(page, shadow_of[0], node, offset)
+        elif page not in self._split_blacklist:
+            decision = self.detector.record(page, node, offset, size)
+            if decision is not None:
+                yield from self._do_split(decision)
+                return True
+        return False
+
+    # -- page splitting (§5.1) ------------------------------------------------------
+
+    def _alloc_shadow(self) -> int:
+        page = self._shadow_cursor
+        self._shadow_cursor += 1
+        return page
+
+    def _do_split(self, decision: SplitDecision):
+        """Caller holds the original page's lock."""
+        cfg = self.config
+        co = self.coherence
+        page = decision.page
+        yield self.sim.timeout(cfg.split_service_ns)
+        yield from co.pull_home_and_invalidate(page)
+        content = co.home_snapshot(page)
+        shadows = tuple(self._alloc_shadow() for _ in range(decision.regions))
+        for s in shadows:
+            # Each shadow page carries the region at its original offset; we
+            # copy the whole page so offsets line up (Fig. 4) — only the
+            # region's bytes are ever authoritative.
+            co.home_install(s, content)
+        self.split.install(
+            SplitEntry(orig_page=page, shadow_pages=shadows, region_bytes=decision.region_bytes)
+        )
+        yield from self._broadcast_split_table()
+        self.detector.forget(page)
+        self.trace.emit(
+            "split", self.node_id,
+            f"split into {decision.regions} x {decision.region_bytes}B shadows",
+            page=page,
+        )
+        self.run_stats.protocol.splits += 1
+
+    def _broadcast_split_table(self):
+        entries = self.split.clone_state()
+        acks = yield self.sim.all_of(
+            [
+                self.endpoint.request(nid, SplitTableUpdate(entries=entries))
+                for nid in self.node_ids
+            ]
+        )
+        return acks
+
+    # -- merging (correctness escape hatch for region-crossing accesses) ----------
+
+    def _track_shadow_conflict(self, shadow: int, orig: int, node: int, offset: int) -> None:
+        """Count cross-node write ping-pong on a shadow page; past the
+        trigger, schedule a merge + blacklist (the split was mis-inferred)."""
+        last_node, last_off, n = self._shadow_conflicts.get(shadow, (-1, -1, 0))
+        if last_node >= 0 and node != last_node and offset != last_off:
+            n += 1
+        self._shadow_conflicts[shadow] = (node, offset, n)
+        if n >= self.config.splitting_trigger and orig not in self._merging:
+            self._merging.add(orig)
+            self._split_blacklist.add(orig)
+            self.trace.emit(
+                "split", self.node_id,
+                "shadow still ping-ponging: revert + blacklist", page=orig,
+            )
+            self.spawn_guarded(
+                self._merge_and_release(orig), f"revert-split@{orig:#x}"
+            )
+
+    def _merge_and_release(self, orig: int):
+        try:
+            yield from self._do_merge(orig)
+        finally:
+            self._merging.discard(orig)
+
+    def _do_merge(self, orig: int):
+        """Merge a split page's shadows back into the original (locks the
+        original and every shadow in sorted order; single-lock managers and
+        disjoint merge lock-sets cannot deadlock against this)."""
+        co = self.coherence
+        entry = self.split.entry(orig)
+        if entry is None:
+            return
+        pages = sorted([orig, *entry.shadow_pages])
+        locks = [co.lock(p) for p in pages]
+        for lock in locks:
+            yield lock.acquire()
+        try:
+            if self.split.entry(orig) is None:
+                return  # merged concurrently
+            yield self.sim.timeout(self.config.merge_service_ns)
+            rb = entry.region_bytes
+            for k, shadow in enumerate(entry.shadow_pages):
+                yield from co.pull_home_and_invalidate(shadow)
+                region = co.home_bytes(shadow * PAGE_SIZE + k * rb, rb)
+                co.home_write(orig * PAGE_SIZE + k * rb, region)
+                self._retired_shadows.add(shadow)
+                self._shadow_conflicts.pop(shadow, None)
+            self.split.remove(orig)
+            yield from self._broadcast_split_table()
+            self.trace.emit("split", self.node_id, "merged back", page=orig)
+            self.run_stats.protocol.merges += 1
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    # -- merge requests (wire-facing) -----------------------------------------
+
+    def handle(self, msg):
+        yield from self._do_merge(msg.page)
+        # A guest access straddled the regions: this page must stay whole.
+        self._split_blacklist.add(msg.page)
+        self.endpoint.reply(msg, Ack())

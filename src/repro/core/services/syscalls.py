@@ -1,0 +1,146 @@
+"""Master syscall service: delegated syscall execution (paper §4.3).
+
+Executes each ``syscall_request`` against the centralized system state,
+migrating pointer-argument pages home through the coherence service's
+guest-memory accessor.  Thread-lifecycle results (clone placement, live
+migration, exit_group) are resolved here; futex park/wake delivery is
+delegated to the futex service.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import DQEMUConfig
+from repro.core.migration import build_child_context
+from repro.core.scheduler import ThreadPlacer
+from repro.core.services.coherence import CoherentGuestMemory
+from repro.core.services.futexes import FutexService
+from repro.core.stats import RunStats
+from repro.kernel.syscalls import SyscallExecutor, SyscallResult, SystemState
+from repro.kernel.sysnums import (
+    CLONE_CHILD_CLEARTID,
+    CLONE_CHILD_SETTID,
+    CLONE_PARENT_SETTID,
+    ERRNO,
+    sys_name,
+)
+from repro.net.endpoint import Endpoint
+from repro.net.messages import SpawnThread, SyscallReply
+from repro.sim.engine import Simulator
+
+__all__ = ["SyscallService"]
+
+
+class SyscallService:
+    name = "syscall"
+    handled_kinds = frozenset({"syscall_request"})
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DQEMUConfig,
+        endpoint: Endpoint,
+        trace,
+        run_stats: RunStats,
+        state: SystemState,
+        placer: ThreadPlacer,
+        node_ids: list[int],
+        node_id: int,
+        guest_mem: CoherentGuestMemory,
+        futexes: FutexService,
+        finish: Callable[[int], None],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.endpoint = endpoint
+        self.trace = trace
+        self.run_stats = run_stats
+        self.state = state
+        self.placer = placer
+        self.node_ids = list(node_ids)
+        self.node_id = node_id
+        self.guest_mem = guest_mem
+        self.futexes = futexes
+        self.finish = finish
+        self.executor = SyscallExecutor(state, guest_mem)
+
+    # -- delegated syscalls (§4.3) ---------------------------------------------------
+
+    def handle(self, msg):
+        cfg = self.config
+        yield self.sim.timeout(cfg.syscall_service_ns)
+        self.trace.emit("syscall", msg.src, sys_name(msg.sysno), tid=msg.tid)
+        result: SyscallResult = yield from self.executor.execute(
+            msg.tid, msg.src, msg.sysno, msg.args
+        )
+
+        if result.action == "clone":
+            yield from self._handle_clone(msg, result)
+            return
+        if result.action == "migrate":
+            yield from self._handle_migrate(msg, result)
+            return
+
+        self.futexes.wake(result.woken)
+
+        if result.action == "blocked":
+            self.futexes.park(msg)
+        elif result.action == "exit":
+            self.endpoint.reply(msg, SyscallReply(exited=True))
+        elif result.action == "exit_group":
+            self.endpoint.reply(msg, SyscallReply(exited=True))
+            self.finish(result.exit_status)
+        else:  # "return" / "yield"
+            self.endpoint.reply(msg, SyscallReply(retval=result.retval))
+
+    def _handle_clone(self, msg, result: SyscallResult):
+        clone = result.clone
+        hint = (msg.context or {}).get("hint_group")
+        node_id = self.placer.place(hint)
+        ctid = clone.ctid if clone.flags & CLONE_CHILD_CLEARTID else 0
+        rec = self.state.threads.create(
+            node=node_id, parent_tid=clone.parent_tid, ctid=ctid, hint_group=hint
+        )
+        mem = self.guest_mem
+        if clone.flags & CLONE_PARENT_SETTID and clone.ptid:
+            yield from mem.write_guest(clone.ptid, rec.tid.to_bytes(8, "little"))
+        if clone.flags & CLONE_CHILD_SETTID and clone.ctid:
+            yield from mem.write_guest(clone.ctid, rec.tid.to_bytes(8, "little"))
+        child = build_child_context(msg.context, clone, rec.tid, hint)
+        if node_id != self.node_id:
+            self.run_stats.protocol.remote_thread_spawns += 1
+        self.trace.emit(
+            "thread", node_id,
+            f"clone: placed (hint={hint})", tid=rec.tid,
+        )
+        yield self.endpoint.request(node_id, SpawnThread(tid=rec.tid, context=child))
+        self.endpoint.reply(msg, SyscallReply(retval=rec.tid))
+
+    def _handle_migrate(self, msg, result: SyscallResult):
+        """Live thread migration (sched_setaffinity): re-place the calling
+        thread.  The syscall request already carries the CPU context, so the
+        move reuses the remote-creation path: ship the context to the target
+        node and tell the source node to forget the thread.  The thread's
+        data follows through the coherence protocol, as at creation (§4.1).
+        """
+        target = result.migrate_to
+        if target not in self.node_ids:
+            self.endpoint.reply(
+                msg, SyscallReply(retval=(-ERRNO.EINVAL) & 0xFFFF_FFFF_FFFF_FFFF)
+            )
+            return
+        if target == msg.src:
+            self.endpoint.reply(msg, SyscallReply(retval=0))
+            return
+        self.state.threads.move(msg.tid, target)
+        context = dict(msg.context)
+        regs = list(context["regs"])
+        regs[10] = 0  # a0: sched_setaffinity returns 0 on the new node
+        context["regs"] = regs
+        self.trace.emit(
+            "thread", target, f"migrated from n{msg.src}", tid=msg.tid
+        )
+        self.run_stats.protocol.thread_migrations += 1
+        yield self.endpoint.request(target, SpawnThread(tid=msg.tid, context=context))
+        self.endpoint.reply(msg, SyscallReply(migrated=True))

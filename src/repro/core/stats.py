@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["ThreadStats", "ProtocolStats", "RunStats"]
+__all__ = ["ThreadStats", "ProtocolStats", "ServiceStats", "RunStats"]
 
 
 @dataclass
@@ -62,9 +62,27 @@ class ProtocolStats:
 
 
 @dataclass
+class ServiceStats:
+    """Per-service load attribution (one entry per runtime service).
+
+    ``requests`` counts units of work the service performed (dispatched
+    messages for wire-facing services; wakes/parks for the futex service,
+    push batches for the forwarder).  ``busy_ns`` is virtual time spent
+    inside the service's handlers — for master services this is a direct
+    read on how much of the master-link budget each subsystem consumes.
+    Slave-side services aggregate across nodes under one name.
+    """
+
+    name: str = ""
+    requests: int = 0
+    busy_ns: int = 0
+
+
+@dataclass
 class RunStats:
     threads: dict[int, ThreadStats] = field(default_factory=dict)
     protocol: ProtocolStats = field(default_factory=ProtocolStats)
+    services: dict[str, ServiceStats] = field(default_factory=dict)
     wall_ns: int = 0  # virtual time from program start to exit
     insns_executed: int = 0
     insns_translated: int = 0
@@ -73,6 +91,11 @@ class RunStats:
         if tid not in self.threads:
             self.threads[tid] = ThreadStats(tid=tid)
         return self.threads[tid]
+
+    def service(self, name: str) -> ServiceStats:
+        if name not in self.services:
+            self.services[name] = ServiceStats(name=name)
+        return self.services[name]
 
     # -- aggregations used by the Fig. 8 harness --------------------------------
 

@@ -30,7 +30,7 @@ Atomic semantics (paper §3.4/§4.4 relies on these):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Fmt", "Flag", "InstrSpec", "SPECS", "BY_OPCODE", "Instruction"]
 

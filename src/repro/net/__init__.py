@@ -1,7 +1,8 @@
-"""Simulated cluster interconnect: star-topology switch, NICs, protocol frames."""
+"""Simulated cluster interconnect: star-topology switch, NICs, RPC, frames."""
 
+from repro.net import messages
 from repro.net.endpoint import Endpoint
 from repro.net.fabric import Fabric, FabricStats
-from repro.net import messages
+from repro.net.rpc import RpcChannel, RpcTimeout
 
-__all__ = ["Endpoint", "Fabric", "FabricStats", "messages"]
+__all__ = ["Endpoint", "Fabric", "FabricStats", "RpcChannel", "RpcTimeout", "messages"]

@@ -1,11 +1,12 @@
-"""Per-node network interface with RPC correlation and kind-based routing.
+"""Per-node network interface with kind-based routing and an RPC channel.
 
 Each DQEMU instance owns one :class:`Endpoint`.  Outbound messages are
-stamped with the node id; inbound messages are routed either to a pending
-RPC (``in_reply_to``) or to the subscriber queue for a routing key.  The
-default routing key is the message *kind*; the master overrides this to route
-each slave's requests to that slave's dedicated manager thread, mirroring the
-paper's one-manager-per-slave design (§4, Fig. 2).
+stamped with the node id; inbound messages are routed either to the
+endpoint's :class:`~repro.net.rpc.RpcChannel` (``in_reply_to`` set) or to
+the subscriber queue for a routing key.  The default routing key is the
+message *kind*; the master overrides this to route each slave's requests to
+that slave's dedicated manager thread, mirroring the paper's
+one-manager-per-slave design (§4, Fig. 2).
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from typing import Callable, Hashable, Optional
 from repro.errors import NetworkError
 from repro.net.fabric import Fabric
 from repro.net.messages import Message
+from repro.net.rpc import RpcChannel
 from repro.sim.engine import Event, Simulator
 from repro.sim.sync import SimQueue
 
@@ -28,7 +30,7 @@ class Endpoint:
         self.sim = sim
         self.fabric = fabric
         self.node_id = node_id
-        self._pending: dict[int, Event] = {}
+        self.rpc = RpcChannel(sim, self)
         self._queues: dict[Hashable, SimQueue] = {}
         self._route: Callable[[Message], Hashable] = lambda msg: msg.kind
         self._default_queue: Optional[SimQueue] = None
@@ -54,36 +56,30 @@ class Endpoint:
 
     # -- sending ------------------------------------------------------------
 
-    def send(self, dst: int, msg: Message) -> None:
-        """Fire-and-forget transmission."""
+    def transmit(self, dst: int, msg: Message) -> None:
+        """Stamp addressing and put ``msg`` on the wire (no correlation)."""
         msg.src = self.node_id
         msg.dst = dst
         self.fabric.transmit(msg)
 
-    def request(self, dst: int, msg: Message) -> Event:
+    def send(self, dst: int, msg: Message) -> None:
+        """Fire-and-forget transmission."""
+        self.transmit(dst, msg)
+
+    def request(self, dst: int, msg: Message, *, timeout_ns: Optional[int] = None) -> Event:
         """Send ``msg`` and return an event firing with the reply message."""
-        msg.src = self.node_id
-        msg.dst = dst
-        ev = Event(self.sim)
-        self._pending[msg.req_id] = ev
-        self.fabric.transmit(msg)
-        return ev
+        return self.rpc.call(dst, msg, timeout_ns=timeout_ns)
 
     def reply(self, to: Message, msg: Message) -> None:
         """Send ``msg`` as the reply correlated with request ``to``."""
-        msg.in_reply_to = to.req_id
-        self.send(to.src, msg)
+        self.rpc.reply(to, msg)
 
     # -- receiving (called by the fabric) ------------------------------------
 
-    def _deliver(self, msg: Message) -> None:
+    def deliver(self, msg: Message) -> None:
+        """Hand an arrived frame to the RPC channel or a subscriber queue."""
         if msg.in_reply_to:
-            ev = self._pending.pop(msg.in_reply_to, None)
-            if ev is None:
-                raise NetworkError(
-                    f"node {self.node_id}: reply to unknown request {msg.in_reply_to}"
-                )
-            ev.succeed(msg)
+            self.rpc.complete(msg)
             return
         key = self._route(msg)
         queue = self._queues.get(key)
@@ -97,4 +93,4 @@ class Endpoint:
 
     @property
     def pending_requests(self) -> int:
-        return len(self._pending)
+        return self.rpc.in_flight

@@ -13,6 +13,7 @@ message has a ~55 µs round trip, matching §6.1.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import TYPE_CHECKING
 
 from repro.errors import NetworkError
@@ -26,20 +27,29 @@ __all__ = ["Fabric", "FabricStats"]
 
 
 class FabricStats:
-    """Aggregate traffic counters, queryable per experiment."""
+    """Aggregate traffic counters, queryable per experiment.
+
+    ``tx_bytes_by_node`` / ``rx_bytes_by_node`` attribute wire load to the
+    sending/receiving node — on a star topology the master's rows are the
+    bottleneck links the paper's worst-case mutex test saturates.
+    """
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.bytes_sent = 0
-        self.by_kind: dict[str, int] = {}
-        self.bytes_by_kind: dict[str, int] = {}
+        self.by_kind: Counter[str] = Counter()
+        self.bytes_by_kind: Counter[str] = Counter()
+        self.tx_bytes_by_node: Counter[int] = Counter()
+        self.rx_bytes_by_node: Counter[int] = Counter()
 
     def record(self, msg: Message) -> None:
         self.messages_sent += 1
         size = msg.size_bytes()
         self.bytes_sent += size
-        self.by_kind[msg.kind] = self.by_kind.get(msg.kind, 0) + 1
-        self.bytes_by_kind[msg.kind] = self.bytes_by_kind.get(msg.kind, 0) + size
+        self.by_kind[msg.kind] += 1
+        self.bytes_by_kind[msg.kind] += size
+        self.tx_bytes_by_node[msg.src] += size
+        self.rx_bytes_by_node[msg.dst] += size
 
 
 class Fabric:
@@ -123,5 +133,5 @@ class Fabric:
             arrival = rx_start + ser
             self._downlink_free[msg.dst] = arrival
         dest = self._endpoints[msg.dst]
-        self.sim.timeout(arrival - now).add_callback(lambda _e: dest._deliver(msg))
+        self.sim.timeout(arrival - now).add_callback(lambda _e: dest.deliver(msg))
         return arrival

@@ -1,0 +1,100 @@
+"""Typed request–reply layer over the fabric (RPC correlation).
+
+Every node's :class:`~repro.net.endpoint.Endpoint` owns one
+:class:`RpcChannel`.  A *call* stamps the outbound frame with a correlation
+id (``req_id``), registers a per-request completion :class:`Event`, and
+transmits; the reply frame carries ``in_reply_to`` and completes the event
+with the reply message as its value.  Reply routing therefore never touches
+the endpoint's subscriber queues — requests and replies are distinct planes,
+mirroring the paper's manager/communicator split (§4, Fig. 2).
+
+An optional per-call timeout hook fails the completion event with
+:class:`RpcTimeout` if no reply arrives in time.  The production protocol
+never times out (the fabric is lossless), but fault-injection experiments
+and the service layer's liveness checks hang off this hook.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import NetworkError
+from repro.net.messages import Message
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.endpoint import Endpoint
+
+__all__ = ["RpcChannel", "RpcTimeout"]
+
+
+class RpcTimeout(NetworkError):
+    """A request's optional timeout expired before the reply arrived."""
+
+    def __init__(self, msg: Message, timeout_ns: int):
+        super().__init__(
+            f"rpc: no reply to {msg.kind} (req {msg.req_id}) from node "
+            f"{msg.dst} within {timeout_ns} ns"
+        )
+        self.request = msg
+        self.timeout_ns = timeout_ns
+
+
+class RpcChannel:
+    """Correlation table for one endpoint's in-flight requests."""
+
+    def __init__(self, sim: Simulator, endpoint: "Endpoint"):
+        self.sim = sim
+        self.endpoint = endpoint
+        self._pending: dict[int, Event] = {}
+        self._expired: set[int] = set()
+
+    # -- client side ----------------------------------------------------------
+
+    def call(self, dst: int, msg: Message, *, timeout_ns: Optional[int] = None) -> Event:
+        """Send ``msg`` to ``dst``; the returned event fires with the reply.
+
+        With ``timeout_ns`` set, the event instead *fails* with
+        :class:`RpcTimeout` if the reply does not arrive in time (a late
+        reply to a timed-out request is then dropped silently).
+        """
+        ev = Event(self.sim)
+        self._pending[msg.req_id] = ev
+        self.endpoint.transmit(dst, msg)
+        if timeout_ns is not None:
+            self.sim.timeout(timeout_ns).add_callback(
+                lambda _e: self._expire(msg, timeout_ns)
+            )
+        return ev
+
+    def _expire(self, msg: Message, timeout_ns: int) -> None:
+        ev = self._pending.pop(msg.req_id, None)
+        if ev is not None and not ev.triggered:
+            self._expired.add(msg.req_id)
+            ev.fail(RpcTimeout(msg, timeout_ns))
+
+    # -- server side ----------------------------------------------------------
+
+    def reply(self, to: Message, msg: Message) -> None:
+        """Send ``msg`` as the reply correlated with request ``to``."""
+        msg.in_reply_to = to.req_id
+        self.endpoint.transmit(to.src, msg)
+
+    # -- delivery (called by the endpoint) -------------------------------------
+
+    def complete(self, msg: Message) -> None:
+        """Resolve the pending request that ``msg`` replies to."""
+        ev = self._pending.pop(msg.in_reply_to, None)
+        if ev is None:
+            if msg.in_reply_to in self._expired:
+                self._expired.discard(msg.in_reply_to)  # late reply, dropped
+                return
+            raise NetworkError(
+                f"node {self.endpoint.node_id}: reply to unknown request "
+                f"{msg.in_reply_to}"
+            )
+        ev.succeed(msg)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)

@@ -7,7 +7,6 @@ generates random fan-out programs (random per-thread arithmetic, shared
 atomic accumulation, optional locks) and runs them on both.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import Cluster, DQEMUConfig

@@ -6,7 +6,6 @@ This is the guard that keeps the DBT backend semantically equal to the
 interpreter oracle across the whole ISA.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dbt import CPUState, ExecutionEngine, StopKind

@@ -1,10 +1,8 @@
 """Execution-engine behaviour: quanta, code cache, precise page stalls, faults."""
 
-import pytest
-
-from repro.dbt import CPUState, CodeCache, EngineTiming, ExecutionEngine, StopKind
-from repro.errors import InvalidInstruction, SegmentationFault, UnalignedAccess
-from repro.isa import SPECS, Instruction, assemble, encode
+from repro.dbt import CPUState, EngineTiming, ExecutionEngine, StopKind
+from repro.errors import InvalidInstruction, UnalignedAccess
+from repro.isa import assemble
 from repro.mem import FlatMemory, PAGE_SIZE, PageStall, page_of
 
 TEXT = 0x1_0000

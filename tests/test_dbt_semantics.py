@@ -5,12 +5,9 @@ every case through the interpreter and the DBT keeps the two in lock-step.
 """
 
 import math
-import struct
-
 import pytest
 
-from repro.dbt.fpu import b2f, f2b
-from repro.mem import STACK_TOP
+from repro.dbt.fpu import b2f
 
 pytestmark = pytest.mark.parametrize("mode", ["dbt", "interp"])
 

@@ -1,8 +1,6 @@
 """Edge-path integration tests: kernel access through split pages,
 interpreter-mode clusters, shutdown with parked threads."""
 
-import pytest
-
 from repro import Cluster, DQEMUConfig, assemble
 from repro.kernel.sysnums import SYS
 from repro.workloads.common import emit_fanout_main, workload_builder

@@ -6,7 +6,7 @@ on a small cluster, asserting exact outputs.
 
 import pytest
 
-from repro import Cluster, DQEMUConfig
+from repro import Cluster
 from repro.guestlib import THREAD_STACK_BYTES, runtime_builder
 
 LONG = dict(max_virtual_ms=600_000)

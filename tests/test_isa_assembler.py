@@ -7,7 +7,6 @@ from repro.errors import AssemblerError
 from repro.isa import (
     AsmBuilder,
     DEFAULT_TEXT_BASE,
-    INSTR_BYTES,
     SPECS,
     assemble,
     decode,

@@ -1,11 +1,8 @@
 """Directory/MSI protocol tests, including property-based invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ProtocolError
 from repro.mem.directory import Directory
-from repro.mem.msi import MSIState
 
 
 class TestPlans:

@@ -1,7 +1,5 @@
 """Live thread migration (sched_setaffinity) and nanosleep tests."""
 
-import pytest
-
 from repro import Cluster, DQEMUConfig
 from repro.baselines import run_qemu
 from repro.kernel.sysnums import SYS

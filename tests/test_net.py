@@ -6,7 +6,6 @@ from repro.errors import NetworkError
 from repro.net import Endpoint, Fabric
 from repro.net.messages import (
     HEADER_BYTES,
-    Message,
     PageData,
     PageRequest,
     SyscallReply,
@@ -214,3 +213,33 @@ class TestMessages:
         assert fabric.stats.messages_sent == 2
         assert fabric.stats.by_kind["page_request"] == 1
         assert fabric.stats.bytes_by_kind["page_data"] == HEADER_BYTES + 100
+
+    def test_fabric_stats_per_node_tx_rx_bytes(self):
+        sim, fabric, (a, b, c) = make_cluster()
+        a.subscribe_default()
+        b.subscribe_default()
+        b.send(0, PageRequest(page=1))
+        c.send(0, PageData(page=1, data=bytes(100)))
+        c.send(1, PageRequest(page=2))
+        sim.run()
+        st = fabric.stats
+        assert st.tx_bytes_by_node[1] == HEADER_BYTES
+        assert st.tx_bytes_by_node[2] == 2 * HEADER_BYTES + 100
+        # Node 0 is the hot receiver (the master-link picture).
+        assert st.rx_bytes_by_node[0] == 2 * HEADER_BYTES + 100
+        assert st.rx_bytes_by_node[1] == HEADER_BYTES
+        assert st.tx_bytes_by_node[0] == 0  # Counter: absent keys read as 0
+
+    def test_public_deliver_routes_like_the_fabric(self):
+        """Endpoint.deliver is the fabric's (and RPC layer's) entry point."""
+        sim, fabric, (a, b, _) = make_cluster()
+        q = b.subscribe("page_request")
+        b.deliver(PageRequest(page=9, src=0, dst=1))
+        got = []
+
+        def receiver():
+            got.append((yield q.get()))
+
+        sim.spawn(receiver())
+        sim.run()
+        assert got[0].page == 9

@@ -5,8 +5,6 @@ correctness escape hatch are exercised with the access patterns that the
 paper's Table 1 uses, on small scaled-down sizes.
 """
 
-import pytest
-
 from repro import Cluster, DQEMUConfig
 from repro.workloads.common import emit_fanout_main, workload_builder
 

@@ -1,7 +1,5 @@
 """Protocol-tracing tests."""
 
-import pytest
-
 from repro import Cluster, DQEMUConfig, assemble
 from repro.core.trace import NULL_TRACER, TraceEvent, Tracer
 from tests.test_cluster_integration import counter_program
