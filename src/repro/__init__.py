@@ -31,7 +31,9 @@ Quickstart::
 
 from repro.core.cluster import Cluster, RunResult
 from repro.core.config import DQEMUConfig
+from repro.core.services.base import ServiceTimeout
 from repro.isa import AsmBuilder, Program, assemble
+from repro.net.faults import FaultPlan, FaultRule
 
 __version__ = "1.0.0"
 
@@ -39,8 +41,11 @@ __all__ = [
     "AsmBuilder",
     "Cluster",
     "DQEMUConfig",
+    "FaultPlan",
+    "FaultRule",
     "Program",
     "RunResult",
+    "ServiceTimeout",
     "assemble",
     "__version__",
 ]

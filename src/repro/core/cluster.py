@@ -32,6 +32,7 @@ from repro.mem.layout import STACK_TOP, page_of
 from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
 from repro.net.fabric import Fabric, FabricStats
+from repro.net.faults import FaultInjector, FaultStats
 from repro.sim.engine import Simulator
 
 __all__ = ["Cluster", "RunResult"]
@@ -45,6 +46,7 @@ class RunResult:
     virtual_ns: int
     stats: RunStats
     fabric: Optional[FabricStats] = None
+    faults: Optional[FaultStats] = None  # set when the run had a fault plan
     placements: dict[int, int] = field(default_factory=dict)
     files: dict[str, bytes] = field(default_factory=dict)
     trace: Optional["Tracer"] = None  # set when the cluster ran with trace=True
@@ -96,6 +98,9 @@ class Cluster:
             one_way_latency_ns=cfg.one_way_latency_ns,
             loopback_latency_ns=cfg.loopback_latency_ns,
         )
+        injector: Optional[FaultInjector] = None
+        if cfg.fault_plan is not None:
+            injector = FaultInjector(sim, cfg.fault_plan).attach(fabric)
         stats = RunStats()
         done = sim.event()
 
@@ -165,6 +170,7 @@ class Cluster:
             virtual_ns=sim.now,
             stats=stats,
             fabric=fabric.stats,
+            faults=injector.stats if injector is not None else None,
             placements=placer.distribution(),
             files=state.vfs.dump_files(),
             trace=self.tracer if self.tracer.enabled else None,

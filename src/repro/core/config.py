@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.net.faults import FaultPlan
 
 __all__ = ["DQEMUConfig"]
 
@@ -82,6 +83,17 @@ class DQEMUConfig:
     scheduler: str = "round_robin"  # "round_robin" | "hint"
     schedule_on_master: bool = False  # workers normally go to slave nodes
 
+    # -- robustness / fault injection (docs/PROTOCOL.md "Failure modes") -------
+    # Per-request timeout for every service-issued RPC.  None (the default)
+    # is the paper's lossless-fabric assumption: wait forever.  Set, it makes
+    # a dead or partitioned peer fail the run loudly with a ServiceTimeout
+    # naming the service, message kind and peer instead of deadlocking.
+    rpc_timeout_ns: Optional[int] = None
+    # Fault plan applied to the fabric (repro.net.faults.FaultPlan).  None
+    # leaves the wire untouched; an empty plan attaches the injection
+    # machinery but injects nothing — runs stay bit-identical either way.
+    fault_plan: Optional[FaultPlan] = None
+
     # -- baseline -------------------------------------------------------------
     pure_qemu: bool = False  # single-node vanilla-QEMU model (no DSM layer)
     qemu_cpi_discount: float = 0.96
@@ -97,6 +109,10 @@ class DQEMUConfig:
             raise ConfigError("cpu_ghz must be positive")
         if self.forwarding_trigger < 1 or self.splitting_trigger < 1:
             raise ConfigError("optimization triggers must be >= 1")
+        if self.rpc_timeout_ns is not None and self.rpc_timeout_ns <= 0:
+            raise ConfigError("rpc_timeout_ns must be positive (or None)")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ConfigError("fault_plan must be a repro.net.faults.FaultPlan")
         for nid, cores in (self.node_cores or {}).items():
             if cores < 1:
                 raise ConfigError(f"node {nid}: cores must be >= 1")

@@ -74,7 +74,7 @@ class MasterRuntime:
         self.forwarding = ForwardingService(
             sim, config, self.endpoint, self.trace, run_stats, spawn_guarded
         )
-        self.futexes = FutexService(self.endpoint, run_stats)
+        self.futexes = FutexService(self.endpoint, run_stats, config, spawn_guarded)
         guest_mem = CoherentGuestMemory(self.coherence, self.splitting)
         self.syscalls = SyscallService(
             sim, config, self.endpoint, self.trace, run_stats,

@@ -25,7 +25,7 @@ from repro.core.config import DQEMUConfig
 from repro.core.dsmmem import DSMMemory, LocalMemory, MergeStall
 from repro.core.gthread import GuestThread, GuestThreadState
 from repro.core.llsc import LLSCTable
-from repro.core.services.base import Dispatcher
+from repro.core.services.base import Dispatcher, attribute_timeouts
 from repro.core.services.nodeside import (
     NodeCoherenceService,
     NodeControlService,
@@ -240,6 +240,10 @@ class NodeRuntime:
     def acquire_page(self, page: int, write: bool, offset: int = 0, size: int = 8):
         """Bring ``page`` in at (at least) the needed state, deduplicating
         concurrent requests from threads on this node."""
+        with attribute_timeouts(NodeCoherenceService.name):
+            yield from self._acquire_page(page, write, offset, size)
+
+    def _acquire_page(self, page: int, write: bool, offset: int, size: int):
         store = self.pagestore
         while True:
             if store.has_write(page) or (not write and store.has_read(page)):
@@ -255,6 +259,7 @@ class NodeRuntime:
                 req = self.endpoint.request(
                     self.master_id,
                     PageRequest(page=page, write=write, offset=offset, size=size),
+                    timeout_ns=self.config.rpc_timeout_ns,
                 )
                 if write:
                     reply = yield req
@@ -282,7 +287,11 @@ class NodeRuntime:
             return
 
     def _request_merge(self, orig_page: int):
-        yield self.endpoint.request(self.master_id, MergeRequest(page=orig_page))
+        with attribute_timeouts(NodeSplitTableService.name):
+            yield self.endpoint.request(
+                self.master_id, MergeRequest(page=orig_page),
+                timeout_ns=self.config.rpc_timeout_ns,
+            )
 
     # -- syscalls ----------------------------------------------------------------
 
@@ -308,10 +317,12 @@ class NodeRuntime:
             return
 
         self.run_stats.protocol.delegated_syscalls += 1
-        reply = yield self.endpoint.request(
-            self.master_id,
-            SyscallRequest(tid=cpu.tid, sysno=sysno, args=args, context=cpu.snapshot()),
-        )
+        with attribute_timeouts("node.syscall"):
+            reply = yield self.endpoint.request(
+                self.master_id,
+                SyscallRequest(tid=cpu.tid, sysno=sysno, args=args, context=cpu.snapshot()),
+                timeout_ns=self.config.rpc_timeout_ns,
+            )
         th.stats.syscall_ns += self.sim.now - t0
         if reply.exited:
             th.state = GuestThreadState.EXITED

@@ -9,17 +9,73 @@ routes inbound frames by kind and keeps uniform per-service counters
 (requests served, virtual-ns busy time) in
 :class:`~repro.core.stats.RunStats` so experiments can attribute
 master-link load per subsystem.
+
+Two protocol-robustness concerns live at this seam as well:
+
+* **Timeout attribution** — when ``DQEMUConfig.rpc_timeout_ns`` arms the RPC
+  layer and a peer never answers, the bare
+  :class:`~repro.net.rpc.RpcTimeout` is re-raised as a
+  :class:`ServiceTimeout` naming the service whose handler was waiting, so
+  a dead or partitioned node fails the run loudly and attributably instead
+  of deadlocking it.  Processes issuing RPCs outside a dispatch (pushers,
+  merge reverts, node-side fault handlers) get the same attribution via
+  :func:`attribute_timeouts`.
+* **Replay tolerance** — a duplicated request frame (fault injection, or a
+  retransmitting fabric) must not be served twice: side effects like
+  delegated syscalls or futex wakes are not idempotent.  The dispatcher
+  remembers recently served correlation ids (bounded FIFO) and silently
+  skips replays, billing them to the service's ``duplicates`` counter.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Any, Generator, Protocol, runtime_checkable
 
 from repro.core.stats import RunStats, ServiceStats
-from repro.errors import ProtocolError
+from repro.errors import NetworkError, ProtocolError
+from repro.net.rpc import RpcTimeout
 from repro.sim.engine import Simulator
 
-__all__ = ["Service", "Dispatcher"]
+__all__ = ["Service", "Dispatcher", "ServiceTimeout", "attribute_timeouts"]
+
+
+class ServiceTimeout(RpcTimeout):
+    """An RPC issued on behalf of a named runtime service timed out.
+
+    Carries the service name next to the request's message kind and peer, so
+    slave death surfaces as e.g. ``service 'coherence': no reply to
+    'invalidate' ... from node 3`` rather than a bare :class:`RpcTimeout`.
+    """
+
+    def __init__(self, service: str, inner: RpcTimeout):
+        NetworkError.__init__(
+            self,
+            f"service {service!r}: no reply to {inner.request.kind!r} "
+            f"(req {inner.request.req_id}) from node {inner.request.dst} "
+            f"within {inner.timeout_ns} ns",
+        )
+        self.service = service
+        self.request = inner.request
+        self.timeout_ns = inner.timeout_ns
+
+
+@contextmanager
+def attribute_timeouts(service: str):
+    """Re-raise any bare :class:`RpcTimeout` escaping the block as a
+    :class:`ServiceTimeout` attributed to ``service``.
+
+    Safe inside generator-based simulation processes (the block may span
+    ``yield`` suspension points), and idempotent: an already-attributed
+    timeout passes through unchanged.
+    """
+    try:
+        yield
+    except ServiceTimeout:
+        raise
+    except RpcTimeout as exc:
+        raise ServiceTimeout(service, exc) from exc
 
 
 @runtime_checkable
@@ -43,11 +99,17 @@ class Service(Protocol):
 class Dispatcher:
     """Routes inbound messages to the service registered for their kind."""
 
+    #: Bound on remembered correlation ids for replay detection; old entries
+    #: are evicted FIFO (ids are globally unique, so collisions cannot
+    #: resurrect an evicted one).
+    DEDUP_LIMIT = 4096
+
     def __init__(self, sim: Simulator, run_stats: RunStats):
         self.sim = sim
         self.run_stats = run_stats
         self.services: list[Service] = []
         self._routes: dict[str, Service] = {}
+        self._served: OrderedDict[int, None] = OrderedDict()
 
     def register(self, service: Service) -> Service:
         """Add a service, claiming its ``handled_kinds``; returns it."""
@@ -78,18 +140,43 @@ class Dispatcher:
     def stats_of(self, service: Service) -> ServiceStats:
         return self.run_stats.service(service.name)
 
+    # -- replay detection -------------------------------------------------------
+
+    def _first_delivery(self, req_id: int) -> bool:
+        served = self._served
+        if req_id in served:
+            return False
+        served[req_id] = None
+        if len(served) > self.DEDUP_LIMIT:
+            served.popitem(last=False)
+        return True
+
+    # -- dispatch ----------------------------------------------------------------
+
     def dispatch(self, msg: Any) -> Generator[Any, Any, Any]:
-        """Route ``msg`` to its service, billing requests and busy time."""
+        """Route ``msg`` to its service, billing requests and busy time.
+
+        A replayed frame (same correlation id as one already served) is
+        dropped without reaching the handler: serving it twice would repeat
+        side effects, and its reply would be a duplicate anyway.
+        """
         service = self._routes.get(msg.kind)
         if service is None:
             raise ProtocolError(
                 f"no service registered for kind {msg.kind!r} (from node {msg.src})"
             )
         stats = self.run_stats.service(service.name)
+        if msg.req_id and not self._first_delivery(msg.req_id):
+            stats.duplicates += 1
+            return None
         stats.requests += 1
         t0 = self.sim.now
         try:
             result = yield from service.handle(msg)
+        except ServiceTimeout:
+            raise
+        except RpcTimeout as exc:
+            raise ServiceTimeout(service.name, exc) from exc
         finally:
             stats.busy_ns += self.sim.now - t0
         return result

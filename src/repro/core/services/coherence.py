@@ -144,7 +144,10 @@ class CoherenceService:
         try:
             owner = self.directory.owner(page)
             if owner is not None:
-                ack = yield self.endpoint.request(owner, WriteBack(page=page))
+                ack = yield self.endpoint.request(
+                    owner, WriteBack(page=page),
+                    timeout_ns=self.config.rpc_timeout_ns,
+                )
                 self.home_install(page, ack.data)
                 self.directory.downgrade_owner(page)
                 self.run_stats.protocol.downgrades += 1
@@ -168,7 +171,10 @@ class CoherenceService:
         if holders:
             acks = yield self.sim.all_of(
                 [
-                    self.endpoint.request(n, Invalidate(page=page, want_data=(n == owner)))
+                    self.endpoint.request(
+                        n, Invalidate(page=page, want_data=(n == owner)),
+                        timeout_ns=self.config.rpc_timeout_ns,
+                    )
                     for n in holders
                 ]
             )
@@ -232,11 +238,15 @@ class CoherenceService:
             if plan.fetch_from is not None:
                 if write:
                     ack = yield self.endpoint.request(
-                        plan.fetch_from, Invalidate(page=page, want_data=True)
+                        plan.fetch_from, Invalidate(page=page, want_data=True),
+                        timeout_ns=cfg.rpc_timeout_ns,
                     )
                     proto.invalidations += 1
                 else:
-                    ack = yield self.endpoint.request(plan.fetch_from, WriteBack(page=page))
+                    ack = yield self.endpoint.request(
+                        plan.fetch_from, WriteBack(page=page),
+                        timeout_ns=cfg.rpc_timeout_ns,
+                    )
                     proto.downgrades += 1
                 if ack.data is not None:
                     self.home_install(page, ack.data)
@@ -244,7 +254,10 @@ class CoherenceService:
             if others:
                 yield self.sim.all_of(
                     [
-                        self.endpoint.request(n, Invalidate(page=page, want_data=False))
+                        self.endpoint.request(
+                            n, Invalidate(page=page, want_data=False),
+                            timeout_ns=cfg.rpc_timeout_ns,
+                        )
                         for n in others
                     ]
                 )

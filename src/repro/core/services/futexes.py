@@ -6,10 +6,24 @@ state); this service is the runtime half — parking a waiter's delegated
 request and delivering ``FutexWake`` frames to each woken waiter's node.
 The syscall service drives it from futex syscall results; no wire frame
 routes here directly on the master.
+
+Delivery mode follows ``DQEMUConfig.rpc_timeout_ns``: by default wakes are
+fire-and-forget sends (the paper's lossless-fabric assumption, and the
+cheapest thing that works).  With a timeout armed, each wake becomes an
+acked request watched by a guarded process, so a wake swallowed by the
+fabric fails the run loudly as a futex-attributed :class:`ServiceTimeout`
+instead of leaving the waiter parked forever.  The node side mirrors the
+same gate (:class:`~repro.core.services.nodeside.NodeControlService` only
+acks wakes when timeouts are armed), keeping the default wire traffic —
+and therefore every timing — bit-identical.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Generator
+
+from repro.core.config import DQEMUConfig
+from repro.core.services.base import attribute_timeouts
 from repro.core.stats import RunStats
 from repro.kernel.futex import Waiter
 from repro.net.endpoint import Endpoint
@@ -22,22 +36,42 @@ class FutexService:
     name = "futex"
     handled_kinds = frozenset()  # internal: driven by the syscall service
 
-    def __init__(self, endpoint: Endpoint, run_stats: RunStats) -> None:
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        run_stats: RunStats,
+        config: DQEMUConfig,
+        spawn_guarded: Callable[[Generator, str], object],
+    ) -> None:
         self.endpoint = endpoint
         self.run_stats = run_stats
+        self.config = config
+        self.spawn_guarded = spawn_guarded
 
     def handle(self, msg):  # pragma: no cover - no wire-facing kinds
         raise NotImplementedError("futex service handles no inbound kinds")
         yield
 
     def wake(self, waiters: list[Waiter]) -> None:
-        """Send a ``FutexWake`` to each waiter's node."""
+        """Deliver a ``FutexWake`` to each waiter's node."""
         proto = self.run_stats.protocol
         stats = self.run_stats.service(self.name)
+        timeout_ns = self.config.rpc_timeout_ns
         for waiter in waiters:
             proto.futex_wakes += 1
             stats.requests += 1
-            self.endpoint.send(waiter.node, FutexWake(tid=waiter.tid, retval=0))
+            wake = FutexWake(tid=waiter.tid, retval=0)
+            if timeout_ns is None:
+                self.endpoint.send(waiter.node, wake)
+            else:
+                ack = self.endpoint.request(waiter.node, wake, timeout_ns=timeout_ns)
+                self.spawn_guarded(
+                    self._await_ack(ack), f"futex-wake-ack@tid{waiter.tid}"
+                )
+
+    def _await_ack(self, ack):
+        with attribute_timeouts(self.name):
+            yield ack
 
     def park(self, msg: Message) -> None:
         """Answer a delegated ``futex_wait`` with a parked reply."""

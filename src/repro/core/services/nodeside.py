@@ -121,6 +121,12 @@ class NodeControlService(_NodeService):
 
     def _on_futex_wake(self, msg):
         self.node._wake_thread(msg.tid, msg.retval)
+        # Wakes are fire-and-forget by default; with RPC timeouts armed the
+        # master sends them as acked requests (see FutexService.wake) and
+        # expects an answer.  Gating on the same config keeps default-mode
+        # wire traffic bit-identical.
+        if self.node.config.rpc_timeout_ns is not None:
+            self.endpoint.reply(msg, Ack())
         return
         yield  # pragma: no cover - generator protocol
 

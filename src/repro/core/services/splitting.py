@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Generator
 
 from repro.core.config import DQEMUConfig
+from repro.core.services.base import attribute_timeouts
 from repro.core.splitting import FalseSharingDetector, SplitDecision
 from repro.core.stats import RunStats
 from repro.mem.layout import PAGE_SIZE, SHADOW_BASE
@@ -126,7 +127,10 @@ class SplittingService:
         entries = self.split.clone_state()
         acks = yield self.sim.all_of(
             [
-                self.endpoint.request(nid, SplitTableUpdate(entries=entries))
+                self.endpoint.request(
+                    nid, SplitTableUpdate(entries=entries),
+                    timeout_ns=self.config.rpc_timeout_ns,
+                )
                 for nid in self.node_ids
             ]
         )
@@ -153,10 +157,13 @@ class SplittingService:
             )
 
     def _merge_and_release(self, orig: int):
-        try:
-            yield from self._do_merge(orig)
-        finally:
-            self._merging.discard(orig)
+        # Runs as its own spawned process, outside any dispatch — attribute
+        # timeouts here or a peer death during the revert surfaces bare.
+        with attribute_timeouts(self.name):
+            try:
+                yield from self._do_merge(orig)
+            finally:
+                self._merging.discard(orig)
 
     def _do_merge(self, orig: int):
         """Merge a split page's shadows back into the original (locks the

@@ -114,7 +114,10 @@ class SyscallService:
             "thread", node_id,
             f"clone: placed (hint={hint})", tid=rec.tid,
         )
-        yield self.endpoint.request(node_id, SpawnThread(tid=rec.tid, context=child))
+        yield self.endpoint.request(
+            node_id, SpawnThread(tid=rec.tid, context=child),
+            timeout_ns=self.config.rpc_timeout_ns,
+        )
         self.endpoint.reply(msg, SyscallReply(retval=rec.tid))
 
     def _handle_migrate(self, msg, result: SyscallResult):
@@ -142,5 +145,8 @@ class SyscallService:
             "thread", target, f"migrated from n{msg.src}", tid=msg.tid
         )
         self.run_stats.protocol.thread_migrations += 1
-        yield self.endpoint.request(target, SpawnThread(tid=msg.tid, context=context))
+        yield self.endpoint.request(
+            target, SpawnThread(tid=msg.tid, context=context),
+            timeout_ns=self.config.rpc_timeout_ns,
+        )
         self.endpoint.reply(msg, SyscallReply(migrated=True))

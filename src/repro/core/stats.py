@@ -71,11 +71,15 @@ class ServiceStats:
     inside the service's handlers — for master services this is a direct
     read on how much of the master-link budget each subsystem consumes.
     Slave-side services aggregate across nodes under one name.
+    ``duplicates`` counts replayed frames the dispatcher dropped before
+    they reached the handler (nonzero only under duplication faults or a
+    retransmitting fabric).
     """
 
     name: str = ""
     requests: int = 0
     busy_ns: int = 0
+    duplicates: int = 0
 
 
 @dataclass

@@ -3,6 +3,18 @@
 from repro.net import messages
 from repro.net.endpoint import Endpoint
 from repro.net.fabric import Fabric, FabricStats
+from repro.net.faults import FaultInjector, FaultPlan, FaultRule, FaultStats
 from repro.net.rpc import RpcChannel, RpcTimeout
 
-__all__ = ["Endpoint", "Fabric", "FabricStats", "RpcChannel", "RpcTimeout", "messages"]
+__all__ = [
+    "Endpoint",
+    "Fabric",
+    "FabricStats",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
+    "RpcChannel",
+    "RpcTimeout",
+    "messages",
+]

@@ -57,7 +57,13 @@ class Endpoint:
     # -- sending ------------------------------------------------------------
 
     def transmit(self, dst: int, msg: Message) -> None:
-        """Stamp addressing and put ``msg`` on the wire (no correlation)."""
+        """Stamp addressing and put ``msg`` on the wire (no correlation).
+
+        The caller's object is stamped *in place* and owned by the fabric
+        from here on — anything re-injecting a frame (the fault injector's
+        duplicate action, a hypothetical retransmit layer) must send a copy
+        (:func:`repro.net.faults.clone_frame`), never the same instance.
+        """
         msg.src = self.node_id
         msg.dst = dst
         self.fabric.transmit(msg)

@@ -14,7 +14,7 @@ message has a ~55 µs round trip, matching §6.1.
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import NetworkError
 from repro.net.messages import Message
@@ -22,6 +22,7 @@ from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.endpoint import Endpoint
+    from repro.net.faults import FaultStats
 
 __all__ = ["Fabric", "FabricStats"]
 
@@ -75,6 +76,9 @@ class Fabric:
         self._uplink_free: dict[int, int] = {}
         self._downlink_free: dict[int, int] = {}
         self.stats = FabricStats()
+        #: Injection counters, set by ``FaultInjector.attach``; ``None`` on a
+        #: lossless (un-instrumented) fabric.
+        self.fault_stats: Optional["FaultStats"] = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -105,9 +109,16 @@ class Fabric:
         """How far ahead of now the node's downlink is already booked.
 
         Used by the data forwarder to pace pushes so demand replies are not
-        stuck behind a burst of forwarded pages.
+        stuck behind a burst of forwarded pages.  Asking about a node that
+        was never attached is a wiring bug and raises, exactly like
+        :meth:`endpoint` — silently answering 0 would let forwarder pacing
+        errors hide.
         """
-        return max(0, self._downlink_free.get(node_id, 0) - self.sim.now)
+        try:
+            free = self._downlink_free[node_id]
+        except KeyError:
+            raise NetworkError(f"no endpoint attached for node {node_id}") from None
+        return max(0, free - self.sim.now)
 
     def transmit(self, msg: Message) -> int:
         """Schedule delivery of ``msg``; returns the arrival time (ns).

@@ -1,0 +1,320 @@
+"""Fault injection for the simulated interconnect (drop / delay / duplicate /
+reorder).
+
+The paper assumes a lossless cluster fabric (§4); this module makes that
+assumption *testable*.  A :class:`FaultPlan` is a declarative, immutable list
+of :class:`FaultRule` entries — each a frame predicate (message kind, src/dst
+node, every-Nth match, virtual-time window) plus an action.  A
+:class:`FaultInjector` binds a plan to one :class:`~repro.net.fabric.Fabric`
+by wrapping its ``transmit``; matching frames are dropped, delayed (fixed or
+deterministically jittered), duplicated, or held back and reordered behind a
+later frame.  Per-rule and per-action counters live in :class:`FaultStats`,
+surfaced next to the fabric's traffic counters as ``Fabric.fault_stats``.
+
+Everything is deterministic: jitter comes from a ``random.Random`` seeded by
+the plan, so a faulty run is exactly reproducible.  Frames re-injected by the
+duplicate action are copied first (:func:`clone_frame`) — the endpoint stamps
+``src``/``dst`` on the caller's object in place, so re-sending the same
+instance would alias protocol state across deliveries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import ConfigError, NetworkError
+from repro.net.messages import Message
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fabric import Fabric
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "clone_frame",
+    "drop",
+    "delay",
+    "duplicate",
+    "reorder",
+]
+
+ACTIONS = ("drop", "delay", "duplicate", "reorder")
+
+
+def clone_frame(msg: Message) -> Message:
+    """Field-level copy of a protocol frame for re-injection.
+
+    The endpoint stamps ``src``/``dst`` into the caller's message object, so
+    an injected copy must be a distinct instance — mutating one delivery must
+    never reach through to another.
+    """
+    return dataclasses.replace(msg)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault: a frame predicate plus an action.
+
+    Predicate fields (all optional, AND-ed together):
+
+    * ``kinds`` — match only these message kinds (``None`` = any kind);
+    * ``src`` / ``dst`` — match only frames from / to this node id;
+    * ``after_ns`` / ``until_ns`` — virtual-time window ``[after, until)``;
+    * ``every_nth`` — fire on every Nth frame satisfying the predicate;
+    * ``max_count`` — stop firing after this many injections.
+
+    Action parameters: ``delay_ns``/``jitter_ns`` (delay), ``copies``
+    (duplicate: extra deliveries), ``hold_ns`` (reorder: how long a held
+    frame waits for a successor before it is flushed anyway).
+    """
+
+    action: str
+    kinds: Optional[frozenset[str]] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    every_nth: int = 1
+    max_count: Optional[int] = None
+    after_ns: int = 0
+    until_ns: Optional[int] = None
+    delay_ns: int = 0
+    jitter_ns: int = 0
+    copies: int = 1
+    hold_ns: int = 200_000
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigError(f"unknown fault action {self.action!r}")
+        if self.kinds is not None and not isinstance(self.kinds, frozenset):
+            object.__setattr__(self, "kinds", frozenset(self.kinds))
+        if self.every_nth < 1:
+            raise ConfigError("every_nth must be >= 1")
+        if self.max_count is not None and self.max_count < 1:
+            raise ConfigError("max_count must be >= 1")
+        if self.until_ns is not None and self.until_ns <= self.after_ns:
+            raise ConfigError("fault window is empty (until_ns <= after_ns)")
+        if self.delay_ns < 0 or self.jitter_ns < 0:
+            raise ConfigError("delays must be non-negative")
+        if self.action == "delay" and self.delay_ns == 0 and self.jitter_ns == 0:
+            raise ConfigError("delay rule needs delay_ns and/or jitter_ns")
+        if self.copies < 1:
+            raise ConfigError("duplicate rule needs copies >= 1")
+        if self.hold_ns < 0:
+            raise ConfigError("hold_ns must be non-negative")
+
+    # -- predicate --------------------------------------------------------------
+
+    def matches(self, msg: Message, now: int) -> bool:
+        """Static predicate (kind / endpoints / time window); Nth-match and
+        max-count bookkeeping lives in the injector, which owns run state."""
+        if self.kinds is not None and msg.kind not in self.kinds:
+            return False
+        if self.src is not None and msg.src != self.src:
+            return False
+        if self.dst is not None and msg.dst != self.dst:
+            return False
+        if now < self.after_ns:
+            return False
+        if self.until_ns is not None and now >= self.until_ns:
+            return False
+        return True
+
+    def describe(self) -> str:
+        match = []
+        if self.kinds is not None:
+            match.append("kind in {%s}" % ",".join(sorted(self.kinds)))
+        if self.src is not None:
+            match.append(f"src={self.src}")
+        if self.dst is not None:
+            match.append(f"dst={self.dst}")
+        if self.after_ns or self.until_ns is not None:
+            match.append(f"t in [{self.after_ns},{self.until_ns})")
+        if self.every_nth > 1:
+            match.append(f"every {self.every_nth}th")
+        if self.max_count is not None:
+            match.append(f"at most {self.max_count}x")
+        return f"{self.action}({', '.join(match) or 'any frame'})"
+
+
+# -- rule shorthands (the fault plan "syntax", see docs/PROTOCOL.md) ------------
+
+
+def drop(**match) -> FaultRule:
+    """Drop every matching frame (it never reaches the wire)."""
+    return FaultRule(action="drop", **match)
+
+
+def delay(delay_ns: int, *, jitter_ns: int = 0, **match) -> FaultRule:
+    """Delay matching frames by ``delay_ns`` plus seeded jitter in
+    ``[0, jitter_ns]`` before they enter the switch."""
+    return FaultRule(action="delay", delay_ns=delay_ns, jitter_ns=jitter_ns, **match)
+
+
+def duplicate(copies: int = 1, **match) -> FaultRule:
+    """Deliver matching frames ``1 + copies`` times (copies are cloned)."""
+    return FaultRule(action="duplicate", copies=copies, **match)
+
+
+def reorder(hold_ns: int = 200_000, **match) -> FaultRule:
+    """Hold a matching frame back so the next transmitted frame overtakes it;
+    flushed after ``hold_ns`` if no successor shows up."""
+    return FaultRule(action="reorder", hold_ns=hold_ns, **match)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, reusable fault schedule: ordered rules + a jitter seed.
+
+    The first rule matching a frame wins.  A plan carries no run state, so
+    one plan can parameterize many :class:`FaultInjector` instances (e.g. the
+    same experiment at several node counts).
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise ConfigError(f"fault plan entries must be FaultRule, got {rule!r}")
+
+    @staticmethod
+    def of(*rules: FaultRule, seed: int = 0) -> "FaultPlan":
+        return FaultPlan(rules=tuple(rules), seed=seed)
+
+    def describe(self) -> str:
+        return "; ".join(r.label or r.describe() for r in self.rules) or "no faults"
+
+
+class FaultStats:
+    """Injection counters, the fault-side sibling of ``FabricStats``.
+
+    ``by_rule`` keys injections by rule label (``ruleN`` when unlabeled);
+    ``by_kind`` attributes them to the affected message kind, mirroring
+    ``FabricStats.by_kind`` so the two read side by side.
+    """
+
+    def __init__(self) -> None:
+        self.matched = 0  # frames some rule fired on
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0  # extra copies injected
+        self.reordered = 0
+        self.delay_added_ns = 0
+        self.by_rule: Counter[str] = Counter()
+        self.by_kind: Counter[str] = Counter()
+
+    @property
+    def injected(self) -> int:
+        return self.dropped + self.delayed + self.duplicated + self.reordered
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to one fabric, owning all run state.
+
+    ``attach`` wraps ``fabric.transmit``; frames re-injected by a fault
+    (delayed originals, duplicate copies, released reorder holds) go straight
+    to the fabric without re-matching, so rules never compound on their own
+    output.  Dropped frames are counted here and in no ``FabricStats``
+    counter — they never reach the wire.
+    """
+
+    def __init__(self, sim: Simulator, plan: FaultPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.stats = FaultStats()
+        self._rng = random.Random(plan.seed)
+        self._match_counts = [0] * len(plan.rules)
+        self._fired = [0] * len(plan.rules)
+        self._held: list[Message] = []
+        self.fabric: Optional["Fabric"] = None
+        self._inner = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, fabric: "Fabric") -> "FaultInjector":
+        if self._inner is not None:
+            raise NetworkError("fault injector already attached to a fabric")
+        self.fabric = fabric
+        self._inner = fabric.transmit
+        fabric.transmit = self._transmit  # type: ignore[method-assign]
+        fabric.fault_stats = self.stats
+        return self
+
+    # -- rule selection ---------------------------------------------------------
+
+    def _select(self, msg: Message) -> tuple[Optional[int], Optional[FaultRule]]:
+        now = self.sim.now
+        for i, rule in enumerate(self.plan.rules):
+            if not rule.matches(msg, now):
+                continue
+            if rule.max_count is not None and self._fired[i] >= rule.max_count:
+                continue
+            self._match_counts[i] += 1
+            if self._match_counts[i] % rule.every_nth:
+                continue
+            self._fired[i] += 1
+            return i, rule
+        return None, None
+
+    # -- the wrapped transmit ---------------------------------------------------
+
+    def _transmit(self, msg: Message) -> int:
+        i, rule = self._select(msg)
+        if rule is None:
+            arrival = self._inner(msg)
+            self._release_held()
+            return arrival
+
+        st = self.stats
+        st.matched += 1
+        st.by_rule[rule.label or f"rule{i}"] += 1
+        st.by_kind[msg.kind] += 1
+
+        if rule.action == "drop":
+            st.dropped += 1
+            return self.sim.now  # the frame never reaches the wire
+
+        if rule.action == "delay":
+            d = rule.delay_ns
+            if rule.jitter_ns:
+                d += self._rng.randint(0, rule.jitter_ns)
+            st.delayed += 1
+            st.delay_added_ns += d
+            self.sim.timeout(d).add_callback(lambda _e, m=msg: self._inner(m))
+            return self.sim.now + d  # lower bound; link queueing comes later
+
+        if rule.action == "duplicate":
+            st.duplicated += rule.copies
+            arrival = self._inner(msg)
+            for _ in range(rule.copies):
+                self._inner(clone_frame(msg))
+            self._release_held()
+            return arrival
+
+        # reorder: hold until the next transmitted frame overtakes this one,
+        # or flush after hold_ns so a quiet link still delivers eventually.
+        st.reordered += 1
+        self._held.append(msg)
+        self.sim.timeout(rule.hold_ns).add_callback(lambda _e, m=msg: self._flush(m))
+        return self.sim.now
+
+    def _release_held(self) -> None:
+        while self._held:
+            self._inner(self._held.pop(0))
+
+    def _flush(self, msg: Message) -> None:
+        for k, held in enumerate(self._held):
+            if held is msg:
+                del self._held[k]
+                self._inner(msg)
+                return

@@ -10,12 +10,23 @@ mirroring the paper's manager/communicator split (§4, Fig. 2).
 
 An optional per-call timeout hook fails the completion event with
 :class:`RpcTimeout` if no reply arrives in time.  The production protocol
-never times out (the fabric is lossless), but fault-injection experiments
-and the service layer's liveness checks hang off this hook.
+never times out on a lossless fabric, but ``DQEMUConfig.rpc_timeout_ns``
+arms the hook on every service-issued request so fault-injection
+experiments (:mod:`repro.net.faults`) and slave-death detection hang off
+it.
+
+Settled correlation ids — timed out or completed — are remembered as
+*tombstones* so a late reply to a timed-out request, or a replayed copy of
+a reply already delivered (duplication faults), is dropped silently instead
+of crashing the channel.  The tombstone table is bounded: entries are
+swept once they are older than any frame's possible flight time, and the
+table is capped outright, so long runs with timeouts cannot grow memory
+without limit.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import NetworkError
@@ -43,11 +54,21 @@ class RpcTimeout(NetworkError):
 class RpcChannel:
     """Correlation table for one endpoint's in-flight requests."""
 
+    #: Hard cap on remembered tombstones; the oldest are evicted first.
+    TOMBSTONE_LIMIT = 4096
+    #: Tombstones older than this are swept whenever a new one is recorded —
+    #: far beyond any frame's flight time through the fabric, so a late or
+    #: replayed reply always finds its tombstone while it can still arrive.
+    TOMBSTONE_TTL_NS = 1_000_000_000
+
     def __init__(self, sim: Simulator, endpoint: "Endpoint"):
         self.sim = sim
         self.endpoint = endpoint
         self._pending: dict[int, Event] = {}
-        self._expired: set[int] = set()
+        #: req_id -> (settled-at ns, "expired" | "completed")
+        self._tombstones: OrderedDict[int, tuple[int, str]] = OrderedDict()
+        self.dropped_replies = 0  # late replies to timed-out requests
+        self.duplicate_replies = 0  # replayed replies to completed requests
 
     # -- client side ----------------------------------------------------------
 
@@ -70,7 +91,7 @@ class RpcChannel:
     def _expire(self, msg: Message, timeout_ns: int) -> None:
         ev = self._pending.pop(msg.req_id, None)
         if ev is not None and not ev.triggered:
-            self._expired.add(msg.req_id)
+            self._remember(msg.req_id, "expired")
             ev.fail(RpcTimeout(msg, timeout_ns))
 
     # -- server side ----------------------------------------------------------
@@ -86,15 +107,43 @@ class RpcChannel:
         """Resolve the pending request that ``msg`` replies to."""
         ev = self._pending.pop(msg.in_reply_to, None)
         if ev is None:
-            if msg.in_reply_to in self._expired:
-                self._expired.discard(msg.in_reply_to)  # late reply, dropped
+            tomb = self._tombstones.get(msg.in_reply_to)
+            if tomb is not None:
+                if tomb[1] == "expired":
+                    self.dropped_replies += 1  # late reply, dropped
+                else:
+                    self.duplicate_replies += 1  # replayed frame, dropped
                 return
             raise NetworkError(
                 f"node {self.endpoint.node_id}: reply to unknown request "
                 f"{msg.in_reply_to}"
             )
+        self._remember(msg.in_reply_to, "completed")
         ev.succeed(msg)
+
+    # -- tombstones -------------------------------------------------------------
+
+    def _remember(self, req_id: int, why: str) -> None:
+        """Record a settled correlation id, sweeping stale tombstones.
+
+        Eviction is two-tier: anything older than the TTL goes (its reply can
+        no longer be in flight), and the table never exceeds the hard cap
+        even inside the TTL window.
+        """
+        tombs = self._tombstones
+        tombs[req_id] = (self.sim.now, why)
+        tombs.move_to_end(req_id)
+        horizon = self.sim.now - self.TOMBSTONE_TTL_NS
+        while tombs:
+            stamp, _why = next(iter(tombs.values()))
+            if stamp >= horizon and len(tombs) <= self.TOMBSTONE_LIMIT:
+                break
+            tombs.popitem(last=False)
 
     @property
     def in_flight(self) -> int:
         return len(self._pending)
+
+    @property
+    def tombstones(self) -> int:
+        return len(self._tombstones)
