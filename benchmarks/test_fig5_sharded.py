@@ -1,0 +1,32 @@
+"""Fig. 5 (sharded) — master-shard sweep at high node counts.
+
+Extends the scalability story with the sharded master (ROADMAP "Async /
+sharded master"): the blackscholes kernel's boundary false sharing keeps
+every node's manager busy with coherence traffic on many distinct pages, so
+the per-node manager mailbox backs up — measured as the coherence service's
+queue wait.  Partitioning the directory across shard pools serves requests
+for unrelated pages in parallel and must cut that wait monotonically.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import run_fig5_sharded
+
+
+def test_fig5_sharded(benchmark, record_result):
+    result = run_once(benchmark, run_fig5_sharded)
+    record_result("services_fig5_sharded", result.render())
+
+    top = result.slave_counts[-1]
+    shards = result.shard_counts
+    assert shards[0] == 1
+    # There is head-of-line blocking to attack at the high end...
+    assert result.coherence_wait_ns[(top, 1)] > 0
+    # ...and sharding attacks it: mean coherence queue wait strictly drops
+    # at every shard doubling, at the highest node count.
+    waits = [result.mean_wait_us(top, k) for k in shards]
+    for narrow, wide in zip(waits, waits[1:]):
+        assert wide < narrow
+    # The shard sweep never changes guest work: same request volume (within
+    # the small jitter retries introduce) at every shard count.
+    reqs = [result.coherence_requests[(top, k)] for k in shards]
+    assert max(reqs) - min(reqs) <= 0.05 * max(reqs)

@@ -31,6 +31,14 @@ def test_service_breakdown_mutex(benchmark, record_result):
     assert services["syscall"].busy_ns > 0
     assert services["coherence"].busy_ns > 0
     assert services["futex"].requests > 0
+    # Frame-serialization billing: futex wake/park delivery consumes the
+    # master link, so it must not report zero busy time.
+    assert services["futex"].busy_ns > 0
+    # Node-side control work (wake delivery, shutdown) bills its per-command
+    # service span instead of reporting zero.
+    assert services["node.control"].busy_ns > 0
+    # Contention on the master managers is visible as mailbox queue wait.
+    assert services["coherence"].queue_wait_ns > 0
     assert all(s.duplicates == 0 for s in services.values())
 
 

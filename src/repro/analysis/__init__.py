@@ -2,11 +2,13 @@
 
 from repro.analysis.experiments import (
     Fig5Result,
+    Fig5ShardedResult,
     Fig6Result,
     Fig7Result,
     Fig8Result,
     Table1Result,
     run_fig5,
+    run_fig5_sharded,
     run_fig6,
     run_fig7,
     run_fig8,
@@ -22,6 +24,7 @@ from repro.analysis.reporting import render_series, render_table
 
 __all__ = [
     "Fig5Result",
+    "Fig5ShardedResult",
     "Fig6Result",
     "Fig7Result",
     "Fig8Result",
@@ -31,6 +34,7 @@ __all__ = [
     "render_series",
     "render_table",
     "run_fig5",
+    "run_fig5_sharded",
     "run_fig6",
     "run_fig7",
     "run_fig8",

@@ -38,11 +38,13 @@ from repro.workloads import (
 
 __all__ = [
     "Fig5Result",
+    "Fig5ShardedResult",
     "Fig6Result",
     "Table1Result",
     "Fig7Result",
     "Fig8Result",
     "run_fig5",
+    "run_fig5_sharded",
     "run_fig6",
     "run_table1",
     "run_fig7",
@@ -109,6 +111,104 @@ def run_fig5(
         times_ns=times,
         qemu_ns=qemu_ns,
         params=dict(n_threads=n_threads, terms=terms, reps=reps, comm_scale=comm_scale),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 (sharded) — master-shard sweep at high node counts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig5ShardedResult:
+    """Scalability sweep over ``DQEMUConfig.master_shards`` (ROADMAP "Async /
+    sharded master"): for each (slave count, shard count) cell, the run time
+    plus the coherence service's mailbox queue wait — the head-of-line
+    blocking in the per-node manager that sharding exists to attack."""
+
+    slave_counts: list[int]
+    shard_counts: list[int]
+    times_ns: dict[tuple[int, int], int]  # (slaves, shards) -> virtual ns
+    coherence_requests: dict[tuple[int, int], int]
+    coherence_wait_ns: dict[tuple[int, int], int]
+    params: dict
+
+    def mean_wait_us(self, slaves: int, shards: int) -> float:
+        reqs = self.coherence_requests[(slaves, shards)]
+        if reqs == 0:
+            return 0.0
+        return self.coherence_wait_ns[(slaves, shards)] / reqs / 1e3
+
+    def render(self) -> str:
+        rows = []
+        for n in self.slave_counts:
+            for k in self.shard_counts:
+                rows.append(
+                    (
+                        n,
+                        k,
+                        self.times_ns[(n, k)] / 1e6,
+                        self.coherence_requests[(n, k)],
+                        self.coherence_wait_ns[(n, k)] / 1e3,
+                        self.mean_wait_us(n, k),
+                    )
+                )
+        return render_table(
+            [
+                "slaves",
+                "shards",
+                "time (ms)",
+                "coherence reqs",
+                "queue-wait (us)",
+                "mean wait (us)",
+            ],
+            rows,
+            title=(
+                "Fig. 5 (sharded) — master-shard sweep: coherence mailbox "
+                "queue wait vs shard count"
+            ),
+        )
+
+
+def run_fig5_sharded(
+    n_threads: int = 16,
+    n_options: int = 16320,
+    reps: int = 16,
+    slave_counts: Sequence[int] = (4, 6),
+    shard_counts: Sequence[int] = (1, 2, 4),
+    comm_scale: float = 100.0,
+) -> Fig5ShardedResult:
+    """Master-shard sweep at the high end of the Fig. 5 node range.
+
+    Fig. 5's pi-Taylor kernel shares no data, so its page faults happen only
+    at thread startup (already staggered by clone serialization) and its
+    manager mailboxes never back up; the sweep instead uses the Fig. 7
+    blackscholes kernel, whose boundary false sharing sustains coherence
+    traffic on many distinct pages per node for the whole run — exactly the
+    load where one manager per node serializes requests for unrelated pages.
+    """
+    prog = blackscholes.build(n_threads=n_threads, n_options=n_options, reps=reps)
+    times: dict[tuple[int, int], int] = {}
+    requests: dict[tuple[int, int], int] = {}
+    waits: dict[tuple[int, int], int] = {}
+    for n in slave_counts:
+        for k in shard_counts:
+            cfg = DQEMUConfig(master_shards=k).time_scaled(comm_scale)
+            result = Cluster(n, cfg).run(prog, **RUN_KW)
+            coherence = result.stats.services["coherence"]
+            times[(n, k)] = result.virtual_ns
+            requests[(n, k)] = coherence.requests
+            waits[(n, k)] = coherence.queue_wait_ns
+    return Fig5ShardedResult(
+        slave_counts=list(slave_counts),
+        shard_counts=list(shard_counts),
+        times_ns=times,
+        coherence_requests=requests,
+        coherence_wait_ns=waits,
+        params=dict(
+            n_threads=n_threads, n_options=n_options, reps=reps,
+            comm_scale=comm_scale,
+        ),
     )
 
 

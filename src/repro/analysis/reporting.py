@@ -49,13 +49,26 @@ def render_service_breakdown(stats) -> str:
 
     One row per runtime service (master + node side), sorted by busy time —
     a direct read on which protocol subsystem eats the master-link budget.
+    ``queue-wait`` is time served frames sat in the handling process's
+    mailbox before dispatch (head-of-line blocking).  Services dispatched on
+    more than one master shard get per-shard sub-rows under the aggregate,
+    exposing shard load imbalance.
     """
-    rows = [
-        [s.name, s.requests, s.busy_ns / 1e3]
-        for s in sorted(
-            stats.services.values(), key=lambda s: (-s.busy_ns, -s.requests, s.name)
+    rows = []
+    for s in sorted(
+        stats.services.values(), key=lambda s: (-s.busy_ns, -s.requests, s.name)
+    ):
+        rows.append(
+            [s.name, "all", s.requests, s.busy_ns / 1e3, s.queue_wait_ns / 1e3]
         )
-    ]
+        if len(s.shards) > 1:
+            for k in sorted(s.shards):
+                sh = s.shards[k]
+                rows.append(
+                    [s.name, k, sh.requests, sh.busy_ns / 1e3, sh.queue_wait_ns / 1e3]
+                )
     return render_table(
-        ["service", "requests", "busy (us)"], rows, title="Runtime service load"
+        ["service", "shard", "requests", "busy (us)", "queue-wait (us)"],
+        rows,
+        title="Runtime service load",
     )

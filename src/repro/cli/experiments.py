@@ -12,7 +12,14 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.analysis import run_fig5, run_fig6, run_fig7, run_fig8, run_table1
+from repro.analysis import (
+    run_fig5,
+    run_fig5_sharded,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table1,
+)
 from repro.analysis.ablations import (
     ablate_dsm_service,
     ablate_forwarding_window,
@@ -63,6 +70,7 @@ def _ablations():
 
 EXPERIMENTS = {
     "fig5": run_fig5,
+    "fig5_sharded": run_fig5_sharded,
     "fig6": run_fig6,
     "table1": run_table1,
     "fig7": _fig7_both,

@@ -33,6 +33,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler", choices=("round_robin", "hint"), default="round_robin",
         help="thread placement policy (§5.3)",
     )
+    p.add_argument("--master-shards", type=int, default=1, metavar="K",
+                   help="partition the master directory across K shard pools "
+                        "(default 1: the paper's single-directory master)")
     p.add_argument("--qemu", action="store_true",
                    help="run the vanilla single-node QEMU baseline instead")
     p.add_argument("--stdin", default=None,
@@ -68,6 +71,7 @@ def main(argv: list[str] | None = None) -> int:
         forwarding_enabled=args.forwarding,
         splitting_enabled=args.splitting,
         scheduler=args.scheduler,
+        master_shards=args.master_shards,
         pure_qemu=args.qemu,
     )
     if args.time_scale != 1.0:

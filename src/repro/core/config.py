@@ -79,6 +79,16 @@ class DQEMUConfig:
     split_service_ns: int = 50_000  # master work: probe space, copy, broadcast
     merge_service_ns: int = 50_000
 
+    # -- master sharding (ROADMAP "Async / sharded master") --------------------
+    # Number of independent shard pools the master's directory is partitioned
+    # into.  Each shard owns the pages with page_no % master_shards == shard
+    # (see repro.mem.sharding.shard_of), with its own dispatcher, directory
+    # partition, split-table partition, and per-node manager processes.  The
+    # default of 1 is the paper's single-directory master and reproduces every
+    # run bit-for-bit; higher values attack manager head-of-line blocking at
+    # large node counts (measured as ServiceStats.queue_wait_ns).
+    master_shards: int = 1
+
     # -- scheduling (§5.3) ----------------------------------------------------
     scheduler: str = "round_robin"  # "round_robin" | "hint"
     schedule_on_master: bool = False  # workers normally go to slave nodes
@@ -109,6 +119,8 @@ class DQEMUConfig:
             raise ConfigError("cpu_ghz must be positive")
         if self.forwarding_trigger < 1 or self.splitting_trigger < 1:
             raise ConfigError("optimization triggers must be >= 1")
+        if self.master_shards < 1:
+            raise ConfigError("master_shards must be >= 1")
         if self.rpc_timeout_ns is not None and self.rpc_timeout_ns <= 0:
             raise ConfigError("rpc_timeout_ns must be positive (or None)")
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):

@@ -1,13 +1,26 @@
 """Master-node runtime (paper Fig. 2, §4.2–§4.4, §5).
 
-The master owns the page directory, the centralized system state, and one
-*manager* process per node (including itself — the master's own guest
-threads talk to their manager over the fabric's loopback).  The protocol
-work itself lives in the service layer (:mod:`repro.core.services`): the
-manager processes are thin pumps feeding a :class:`Dispatcher` that routes
-each frame by kind to the coherence, syscall, or splitting service;
-forwarding and futex delivery are internal services driven by those.  This
-class is the composition root wiring them together.
+The master owns the page directory, the centralized system state, and the
+manager processes serving each node's requests (including its own — the
+master's guest threads talk to their managers over the fabric's loopback).
+The protocol work itself lives in the service layer
+(:mod:`repro.core.services`); this class is the composition root wiring it
+together.
+
+The directory is partitioned across ``DQEMUConfig.master_shards``
+independent *shard pools* (:class:`MasterShard`): shard ``s`` owns the
+pages with ``page % K == s`` and runs its own coherence service (directory
+partition + page locks), splitting service (split-table partition +
+shard-affine shadow allocator), dispatcher, and one manager process per
+node.  Inbound frames are routed to ``("mgr", src, shard)`` by the
+endpoint's routing function (page-keyed kinds by their page's shard,
+control kinds to shard 0), so two nodes' requests for pages on different
+shards never queue behind each other.  Cross-shard work — split-table
+broadcasts, multi-page guest-memory access from global syscalls, read-ahead
+pushes — goes through the
+:class:`~repro.core.services.coordinator.CrossShardCoordinator`.  With the
+default ``master_shards = 1`` this collapses to the paper's
+single-directory master, bit-for-bit.
 """
 
 from __future__ import annotations
@@ -17,6 +30,7 @@ from repro.core.node import NodeRuntime
 from repro.core.scheduler import ThreadPlacer
 from repro.core.services.base import Dispatcher
 from repro.core.services.coherence import CoherenceService, CoherentGuestMemory
+from repro.core.services.coordinator import CrossShardCoordinator
 from repro.core.services.forwarding import ForwardingService
 from repro.core.services.futexes import FutexService
 from repro.core.services.splitting import SplittingService
@@ -24,17 +38,54 @@ from repro.core.services.syscalls import SyscallService
 from repro.core.stats import RunStats
 from repro.kernel.syscalls import SystemState
 from repro.mem.pagestore import PageStore
+from repro.mem.sharding import ShardedDirectoryView, ShardedSplitView
 from repro.net.messages import Shutdown
 from repro.sim.engine import Event, Simulator
 
-__all__ = ["MasterRuntime", "MasterGuestMemory"]
+__all__ = ["MasterRuntime", "MasterShard", "MasterGuestMemory"]
 
 #: Backwards-compatible name for the kernel's coherent guest-memory accessor.
 MasterGuestMemory = CoherentGuestMemory
 
 
+class MasterShard:
+    """One shard pool: directory partition, split partition, dispatcher.
+
+    The shard's coherence and splitting services only ever see pages whose
+    :func:`~repro.mem.sharding.shard_of` is this shard (routing enforces
+    it), so their directory, split table, page locks, and shadow allocations
+    are disjoint from every other shard's by construction.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        sim: Simulator,
+        config: DQEMUConfig,
+        endpoint,
+        trace,
+        run_stats: RunStats,
+        home: PageStore,
+        node_ids: list[int],
+        node_id: int,
+        spawn_guarded,
+        coordinator: CrossShardCoordinator,
+    ) -> None:
+        self.shard = shard
+        self.coherence = CoherenceService(
+            sim, config, endpoint, trace, run_stats, home
+        )
+        self.splitting = SplittingService(
+            sim, config, endpoint, trace, run_stats,
+            node_ids, node_id, spawn_guarded, coordinator, shard,
+        )
+        self.dispatcher = Dispatcher(sim, run_stats, shard=shard)
+        self.dispatcher.register(self.coherence)
+        self.dispatcher.register(self.splitting)
+
+
 class MasterRuntime:
-    """Composition root for the master's services and manager processes."""
+    """Composition root for the master's shard pools and shared services."""
 
     def __init__(
         self,
@@ -63,47 +114,69 @@ class MasterRuntime:
 
         spawn_guarded = self._spawn_guarded
 
-        # -- services (see docs/PROTOCOL.md "Runtime service architecture") ----
-        self.coherence = CoherenceService(
-            sim, config, self.endpoint, self.trace, run_stats, home
+        # -- shard pools (see docs/PROTOCOL.md "Sharded master") ----------------
+        self.coordinator = CrossShardCoordinator(
+            sim, config, self.endpoint, self.node_ids
         )
-        self.splitting = SplittingService(
-            sim, config, self.endpoint, self.trace, run_stats,
-            self.node_ids, node.node_id, spawn_guarded,
+        self.shards = [
+            MasterShard(
+                s, sim, config, self.endpoint, self.trace, run_stats, home,
+                self.node_ids, node.node_id, spawn_guarded, self.coordinator,
+            )
+            for s in range(config.master_shards)
+        ]
+        self.coordinator.bind(
+            [shard.coherence for shard in self.shards],
+            [shard.splitting for shard in self.shards],
         )
+
+        # -- shared services (control shard 0) ---------------------------------
+        # Forwarding spans the page space (consecutive stream pages interleave
+        # over every shard); syscalls and futexes operate on the centralized
+        # system state.  They live on shard 0's dispatcher, and control frames
+        # (syscall_request has no page key) route there.
         self.forwarding = ForwardingService(
             sim, config, self.endpoint, self.trace, run_stats, spawn_guarded
         )
         self.futexes = FutexService(self.endpoint, run_stats, config, spawn_guarded)
-        guest_mem = CoherentGuestMemory(self.coherence, self.splitting)
+        guest_mem = CoherentGuestMemory(self.coordinator)
         self.syscalls = SyscallService(
             sim, config, self.endpoint, self.trace, run_stats,
             state, placer, self.node_ids, node.node_id,
             guest_mem, self.futexes, self._finish,
         )
-        self.coherence.bind(self.splitting, self.forwarding)
-        self.splitting.bind(self.coherence)
-        self.forwarding.bind(self.coherence, self.splitting)
+        for shard in self.shards:
+            shard.coherence.bind(shard.splitting, self.forwarding)
+            shard.splitting.bind(shard.coherence)
+        self.forwarding.bind(self.coordinator)
 
-        self.dispatcher = Dispatcher(sim, run_stats)
-        for service in (
-            self.coherence,
-            self.syscalls,
-            self.splitting,
-            self.forwarding,
-            self.futexes,
-        ):
-            self.dispatcher.register(service)
+        shard0 = self.shards[0]
+        for service in (self.syscalls, self.forwarding, self.futexes):
+            shard0.dispatcher.register(service)
+
+        # Single-shard aliases (debugging, tests, unsharded call sites).
+        self.coherence = shard0.coherence
+        self.splitting = shard0.splitting
+        self.dispatcher = shard0.dispatcher
 
     # -- convenience views (debugging, tests) ----------------------------------
 
     @property
     def directory(self):
-        return self.coherence.directory
+        """The page directory: the raw partition for one shard, a read-only
+        merged view across partitions otherwise."""
+        if len(self.shards) == 1:
+            return self.shards[0].coherence.directory
+        return ShardedDirectoryView(
+            [shard.coherence.directory for shard in self.shards]
+        )
 
     @property
     def split(self):
-        return self.splitting.split
+        """The canonical split table (merged view when sharded)."""
+        if len(self.shards) == 1:
+            return self.shards[0].splitting.split
+        return ShardedSplitView([shard.splitting.split for shard in self.shards])
 
     @property
     def executor(self):
@@ -116,17 +189,27 @@ class MasterRuntime:
         return self.sim.spawn(self.node._guarded(gen), name=name)
 
     def start(self) -> None:
+        # Node-major spawn order: with one shard this is exactly the
+        # unsharded manager-per-node spawn sequence (bit-identity).
         for nid in self.node_ids:
-            self._spawn_guarded(self._manager(nid), f"mgr{nid}@master")
+            for shard in self.shards:
+                self._spawn_guarded(
+                    self._manager(nid, shard), f"mgr{nid}.{shard.shard}@master"
+                )
 
-    def _manager(self, nid: int):
-        """One manager thread per node, serving that node's requests (§4)."""
-        q = self.endpoint.subscribe(("mgr", nid))
+    def _manager(self, nid: int, shard: MasterShard):
+        """One manager per (node, shard), serving that node's requests for
+        that shard's pages (§4; sharding per docs/PROTOCOL.md)."""
+        q = self.endpoint.subscribe(("mgr", nid, shard.shard))
         while True:
             msg = yield q.get()
             if self._finished:
+                # The guest is gone; drop the frame but keep the drop visible
+                # (a silently swallowed post-exit frame made races
+                # undiagnosable).
+                self.run_stats.protocol.post_finish_drops += 1
                 continue
-            yield from self.dispatcher.dispatch(msg)
+            yield from shard.dispatcher.dispatch(msg)
 
     def _finish(self, status: int) -> None:
         self.trace.emit("run", self.node.node_id, f"exit_group({status})")

@@ -41,6 +41,7 @@ from repro.kernel.sysnums import SYS
 from repro.mem.api import M64, PageStall
 from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
+from repro.mem.sharding import shard_of
 from repro.mem.splitmap import SplitMap
 from repro.net.endpoint import Endpoint
 from repro.net.fabric import Fabric
@@ -62,6 +63,16 @@ COMMAND_KINDS = (
     | NodeSplitTableService.handled_kinds
     | NodeControlService.handled_kinds
 )
+
+
+def _master_shard_key(msg, nshards: int) -> int:
+    """Master shard a request frame routes to: page-keyed kinds go to their
+    page's shard, control kinds (no ``page`` attribute — syscall delegation)
+    to shard 0, where the shared syscall/futex services are registered."""
+    page = getattr(msg, "page", None)
+    if page is None:
+        return 0
+    return shard_of(page, nshards)
 
 
 class NodeRuntime:
@@ -96,8 +107,10 @@ class NodeRuntime:
         ):
             self.dispatcher.register(service)
         command_kinds = self.dispatcher.kinds
+        nshards = config.master_shards
         self.endpoint.set_router(
-            lambda msg: "comm" if msg.kind in command_kinds else ("mgr", msg.src)
+            lambda msg: "comm" if msg.kind in command_kinds
+            else ("mgr", msg.src, _master_shard_key(msg, nshards))
         )
         self.pagestore = PageStore()
         self.splitmap = SplitMap()
@@ -406,7 +419,11 @@ class NodeRuntime:
         cfg = self.config
         while True:
             msg = yield q.get()
+            # The per-command handling cost is spent before dispatch; passing
+            # its start as started_at bills it as the handling service's busy
+            # time (not mailbox queue wait) without changing any timing.
+            started_at = self.sim.now
             yield self.sim.timeout(cfg.slave_coherence_service_ns)
-            yield from self.dispatcher.dispatch(msg)
+            yield from self.dispatcher.dispatch(msg, started_at=started_at)
             if self.shutdown:
                 return

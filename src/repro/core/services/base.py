@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Generator, Protocol, runtime_checkable
+from typing import Any, Generator, Optional, Protocol, runtime_checkable
 
 from repro.core.stats import RunStats, ServiceStats
 from repro.errors import NetworkError, ProtocolError
@@ -104,9 +104,13 @@ class Dispatcher:
     #: resurrect an evicted one).
     DEDUP_LIMIT = 4096
 
-    def __init__(self, sim: Simulator, run_stats: RunStats):
+    def __init__(self, sim: Simulator, run_stats: RunStats, shard: Optional[int] = None):
         self.sim = sim
         self.run_stats = run_stats
+        #: Master shard this dispatcher serves (``None`` for node-side
+        #: dispatchers): served work is additionally billed to the service's
+        #: per-shard breakdown so shard imbalance is visible.
+        self.shard = shard
         self.services: list[Service] = []
         self._routes: dict[str, Service] = {}
         self._served: OrderedDict[int, None] = OrderedDict()
@@ -153,8 +157,15 @@ class Dispatcher:
 
     # -- dispatch ----------------------------------------------------------------
 
-    def dispatch(self, msg: Any) -> Generator[Any, Any, Any]:
-        """Route ``msg`` to its service, billing requests and busy time.
+    def dispatch(
+        self, msg: Any, started_at: Optional[int] = None
+    ) -> Generator[Any, Any, Any]:
+        """Route ``msg`` to its service, billing requests, busy time, and
+        mailbox queue wait (endpoint arrival stamp → dispatch start).
+
+        ``started_at`` lets a pump that spends modeled service time *before*
+        dispatching (the node communicator's per-command cost) bill that
+        span as the service's busy time rather than as queue wait.
 
         A replayed frame (same correlation id as one already served) is
         dropped without reaching the handler: serving it twice would repeat
@@ -169,8 +180,15 @@ class Dispatcher:
         if msg.req_id and not self._first_delivery(msg.req_id):
             stats.duplicates += 1
             return None
+        t0 = self.sim.now if started_at is None else started_at
+        arrived = getattr(msg, "_arrived_ns", None)
+        waited = t0 - arrived if arrived is not None else 0
         stats.requests += 1
-        t0 = self.sim.now
+        stats.queue_wait_ns += waited
+        shard_stats = None if self.shard is None else stats.shard(self.shard)
+        if shard_stats is not None:
+            shard_stats.requests += 1
+            shard_stats.queue_wait_ns += waited
         try:
             result = yield from service.handle(msg)
         except ServiceTimeout:
@@ -178,5 +196,8 @@ class Dispatcher:
         except RpcTimeout as exc:
             raise ServiceTimeout(service.name, exc) from exc
         finally:
-            stats.busy_ns += self.sim.now - t0
+            busy = self.sim.now - t0
+            stats.busy_ns += busy
+            if shard_stats is not None:
+                shard_stats.busy_ns += busy
         return result

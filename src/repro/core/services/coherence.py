@@ -22,6 +22,7 @@ from repro.sim.engine import Simulator
 from repro.sim.sync import SimLock
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.services.coordinator import CrossShardCoordinator
     from repro.core.services.forwarding import ForwardingService
     from repro.core.services.splitting import SplittingService
 
@@ -34,11 +35,15 @@ class CoherentGuestMemory:
     Pointer-argument pages are migrated to the master before the syscall
     reads or writes them (§4.3): reads pull the freshest copy home (owner
     downgraded), writes invalidate every copy so slaves re-fetch.
+
+    A global syscall's buffer may span pages owned by different master
+    shards; each page is resolved to its shard's coherence service through
+    the coordinator and owned one page at a time (never holding page locks
+    on two shards at once — see docs/PROTOCOL.md "Sharded master").
     """
 
-    def __init__(self, coherence: "CoherenceService", splitting: "SplittingService"):
-        self.coherence = coherence
-        self.splitting = splitting
+    def __init__(self, coordinator: "CrossShardCoordinator"):
+        self.coordinator = coordinator
 
     def _spans(self, addr: int, size: int):
         """Split [addr, addr+size) into translated (taddr, length) chunks that
@@ -48,7 +53,7 @@ class CoherentGuestMemory:
         while pos < end:
             page = page_of(pos)
             off = page_offset(pos)
-            entry = self.splitting.entry(page)
+            entry = self.coordinator.split_entry(page)
             if entry is not None:
                 step = min(end - pos, entry.region_bytes - off % entry.region_bytes)
                 taddr = entry.shadow_pages[off // entry.region_bytes] * PAGE_SIZE + off
@@ -59,17 +64,17 @@ class CoherentGuestMemory:
             pos += step
 
     def read_guest(self, addr: int, size: int) -> Generator:
-        co = self.coherence
         out = bytearray()
         for taddr, step in list(self._spans(addr, size)):
+            co = self.coordinator.coherence_of(page_of(taddr))
             yield from co.own_page_for_read(page_of(taddr))
             out += co.home_bytes(taddr, step)
         return bytes(out)
 
     def write_guest(self, addr: int, data: bytes) -> Generator:
-        co = self.coherence
         pos = 0
         for taddr, step in list(self._spans(addr, len(data))):
+            co = self.coordinator.coherence_of(page_of(taddr))
             yield from co.own_page_for_write(page_of(taddr))
             co.home_write(taddr, data[pos : pos + step])
             pos += step

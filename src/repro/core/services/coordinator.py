@@ -1,0 +1,152 @@
+"""Cross-shard coordinator for the sharded master (ROADMAP "Async / sharded
+master"; see docs/PROTOCOL.md "Sharded master").
+
+With ``DQEMUConfig.master_shards == K`` the master runs K independent shard
+pools, each owning the pages with ``page % K == shard`` (see
+:func:`repro.mem.sharding.shard_of`): its own directory partition,
+split-table partition, per-page locks, and per-node manager processes.
+Almost all protocol work is shard-local by construction — a page request,
+its invalidations, and a split/merge's whole lock set (shadow pages are
+shard-affine) touch exactly one shard.
+
+The operations that are *not* shard-local funnel through this coordinator:
+
+* **Split-table broadcasts.**  Every node holds one full copy of the split
+  table and ``SplitTableUpdate`` replaces it wholesale, so a broadcast must
+  carry the union of all shards' entries and two shards must not interleave
+  broadcasts (a stale union could resurrect a just-merged page on the
+  nodes).  The coordinator serializes broadcasts behind one lock and
+  snapshots the union while holding it.
+* **Cross-shard page lookups.**  Shared services that span the page space —
+  the read-ahead forwarder, the kernel's guest-memory accessor, global
+  syscalls touching multi-page buffers, futex wakes triggered by pages on
+  any shard — resolve each page to its owning shard's coherence/splitting
+  service here, one page at a time.  No path ever holds page locks on two
+  shards at once, which is what keeps the single-shard deadlock-freedom
+  argument valid cluster-wide.
+
+With ``K == 1`` every helper degenerates to direct calls on the single
+shard, and the broadcast path runs exactly the unsharded code (no lock
+acquisition — even an uncontended SimLock schedules an extra simulator
+event, which would perturb event ordering and break the bit-identical
+reproduction of existing runs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.config import DQEMUConfig
+from repro.mem.sharding import shard_of
+from repro.net.endpoint import Endpoint
+from repro.net.messages import SplitTableUpdate
+from repro.sim.engine import Simulator
+from repro.sim.sync import SimLock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.services.coherence import CoherenceService
+    from repro.core.services.splitting import SplittingService
+    from repro.mem.splitmap import SplitEntry
+
+__all__ = ["CrossShardCoordinator"]
+
+
+class CrossShardCoordinator:
+    """Routes per-page operations to their shard and orders cross-shard ones."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DQEMUConfig,
+        endpoint: Endpoint,
+        node_ids: list[int],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.endpoint = endpoint
+        self.node_ids = list(node_ids)
+        self.nshards = config.master_shards
+        # Bound by the composition root once the shard pools exist.
+        self.coherences: list["CoherenceService"] = []
+        self.splittings: list["SplittingService"] = []
+        # Broadcast serialization: only needed (and only constructed) for
+        # K > 1 — see the module docstring on why K == 1 must not lock.
+        self._broadcast_lock: Optional[SimLock] = (
+            SimLock(sim) if self.nshards > 1 else None
+        )
+
+    def bind(
+        self,
+        coherences: list["CoherenceService"],
+        splittings: list["SplittingService"],
+    ) -> None:
+        if len(coherences) != self.nshards or len(splittings) != self.nshards:
+            raise ValueError(
+                f"coordinator for {self.nshards} shards bound to "
+                f"{len(coherences)} coherence / {len(splittings)} splitting services"
+            )
+        self.coherences = list(coherences)
+        self.splittings = list(splittings)
+
+    # -- per-page shard resolution -------------------------------------------
+
+    def shard_of(self, page: int) -> int:
+        return shard_of(page, self.nshards)
+
+    def coherence_of(self, page: int) -> "CoherenceService":
+        return self.coherences[shard_of(page, self.nshards)]
+
+    def splitting_of(self, page: int) -> "SplittingService":
+        return self.splittings[shard_of(page, self.nshards)]
+
+    def split_entry(self, page: int) -> Optional["SplitEntry"]:
+        return self.splitting_of(page).entry(page)
+
+    def split_retired(self, page: int) -> bool:
+        return self.splitting_of(page).is_retired(page)
+
+    # -- cross-shard split-table broadcast -------------------------------------
+
+    def split_table_snapshot(self) -> tuple["SplitEntry", ...]:
+        """Union of every shard's split-table entries (deterministic order)."""
+        if self.nshards == 1:
+            return self.splittings[0].split.clone_state()
+        entries: list["SplitEntry"] = []
+        for splitting in self.splittings:
+            entries.extend(splitting.split.clone_state())
+        entries.sort(key=lambda e: e.orig_page)
+        return tuple(entries)
+
+    def broadcast_split_table(self):
+        """Push the full (union) split table to every node, serialized.
+
+        Nodes replace their whole table on each ``SplitTableUpdate``, so
+        concurrent broadcasts from two shards must not interleave: the later
+        frame would clobber the earlier shard's change with a stale union.
+        The caller still holds its shard's page locks for the split/merge
+        being published — broadcast order is therefore also the publication
+        order of table changes.
+        """
+        if self._broadcast_lock is None:
+            # Single shard: the unsharded fast path, bit-identical to the
+            # pre-sharding master (no lock event is ever scheduled).
+            acks = yield from self._send_update(self.split_table_snapshot())
+            return acks
+        yield self._broadcast_lock.acquire()
+        try:
+            acks = yield from self._send_update(self.split_table_snapshot())
+            return acks
+        finally:
+            self._broadcast_lock.release()
+
+    def _send_update(self, entries: tuple["SplitEntry", ...]):
+        acks = yield self.sim.all_of(
+            [
+                self.endpoint.request(
+                    nid, SplitTableUpdate(entries=entries),
+                    timeout_ns=self.config.rpc_timeout_ns,
+                )
+                for nid in self.node_ids
+            ]
+        )
+        return acks

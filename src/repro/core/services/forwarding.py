@@ -18,8 +18,7 @@ from repro.net.messages import PagePush
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.services.coherence import CoherenceService
-    from repro.core.services.splitting import SplittingService
+    from repro.core.services.coordinator import CrossShardCoordinator
 
 __all__ = ["ForwardingService"]
 
@@ -48,12 +47,10 @@ class ForwardingService:
             initial_window=config.forwarding_initial_window,
             max_window=config.forwarding_max_window,
         )
-        self.coherence: "CoherenceService" = None  # type: ignore[assignment]
-        self.splitting: "SplittingService" = None  # type: ignore[assignment]
+        self.coordinator: "CrossShardCoordinator" = None  # type: ignore[assignment]
 
-    def bind(self, coherence: "CoherenceService", splitting: "SplittingService") -> None:
-        self.coherence = coherence
-        self.splitting = splitting
+    def bind(self, coordinator: "CrossShardCoordinator") -> None:
+        self.coordinator = coordinator
 
     def handle(self, msg):  # pragma: no cover - no wire-facing kinds
         raise NotImplementedError("forwarding service handles no inbound kinds")
@@ -77,8 +74,14 @@ class ForwardingService:
         Pushes are paced against the target's downlink backlog so a demand
         reply never queues behind a long push burst, and each page's
         directory commit + send is atomic under the page lock (an Invalidate
-        racing a push must be ordered after it on the wire)."""
-        co = self.coherence
+        racing a push must be ordered after it on the wire).
+
+        The forwarder is shared across master shards (a stream's consecutive
+        pages interleave over every shard, so per-shard detectors would never
+        trigger); each pushed page resolves to its owning shard's coherence
+        service and is handled entirely under that one shard's page lock.
+        """
+        coord = self.coordinator
         proto = self.run_stats.protocol
         stats = self.run_stats.service(self.name)
         fabric = self.endpoint.fabric
@@ -92,6 +95,7 @@ class ForwardingService:
                 backlog = fabric.downlink_backlog_ns(node)
                 if backlog > pace_cap:
                     yield self.sim.timeout(backlog - pace_cap)
+                co = coord.coherence_of(p)
                 lock = co.lock(p)
                 yield lock.acquire()
                 try:
@@ -99,7 +103,7 @@ class ForwardingService:
                         continue  # modified elsewhere: a push would need invalidations
                     if node in co.directory.holders(p):
                         continue
-                    if self.splitting.entry(p) is not None or self.splitting.is_retired(p):
+                    if coord.split_entry(p) is not None or coord.split_retired(p):
                         continue
                     yield self.sim.timeout(self.config.forwarding_push_ns)
                     co.directory.commit(node, p, write=False)

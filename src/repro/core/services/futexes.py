@@ -52,6 +52,19 @@ class FutexService:
         raise NotImplementedError("futex service handles no inbound kinds")
         yield
 
+    def _bill_frame(self, msg: Message) -> None:
+        """Attribute a delivered frame's wire-serialization time as busy time.
+
+        Wake delivery and park replies have no handler span of their own
+        (they run inside the syscall service's dispatch), so their master-link
+        consumption is billed as the frame's serialization cost on the shared
+        uplink — without advancing the clock, which keeps every existing run
+        bit-identical while making futex-heavy load visible in the service
+        breakdown instead of reporting busy_ns = 0.
+        """
+        stats = self.run_stats.service(self.name)
+        stats.busy_ns += self.endpoint.fabric.serialization_ns(msg.size_bytes())
+
     def wake(self, waiters: list[Waiter]) -> None:
         """Deliver a ``FutexWake`` to each waiter's node."""
         proto = self.run_stats.protocol
@@ -61,6 +74,7 @@ class FutexService:
             proto.futex_wakes += 1
             stats.requests += 1
             wake = FutexWake(tid=waiter.tid, retval=0)
+            self._bill_frame(wake)
             if timeout_ns is None:
                 self.endpoint.send(waiter.node, wake)
             else:
@@ -77,4 +91,6 @@ class FutexService:
         """Answer a delegated ``futex_wait`` with a parked reply."""
         self.run_stats.protocol.futex_waits += 1
         self.run_stats.service(self.name).requests += 1
-        self.endpoint.reply(msg, SyscallReply(parked=True))
+        reply = SyscallReply(parked=True)
+        self._bill_frame(reply)
+        self.endpoint.reply(msg, reply)

@@ -1,9 +1,16 @@
 """Master false-sharing service: page splitting and merge-back (paper §5.1).
 
-Owns the canonical split table, the false-sharing detector, the shadow-page
-allocator, and the adaptive-revert state.  Write traffic is fed in by the
-coherence service (:meth:`SplittingService.observe_write`); region-crossing
-accesses arrive as ``merge_request`` frames.
+Owns its shard's slice of the canonical split table, the false-sharing
+detector, the shard-affine shadow-page allocator, and the adaptive-revert
+state.  Write traffic is fed in by the shard's coherence service
+(:meth:`SplittingService.observe_write`); region-crossing accesses arrive as
+``merge_request`` frames routed to the original page's shard.
+
+Shadow pages are allocated shard-affine (a split page's shadows live on the
+original's shard — :class:`~repro.mem.sharding.ShadowPageAllocator`), so the
+entire split/merge lock set stays inside one shard; split-table broadcasts,
+the one genuinely cross-shard operation, go through the
+:class:`~repro.core.services.coordinator.CrossShardCoordinator`.
 """
 
 from __future__ import annotations
@@ -14,14 +21,17 @@ from repro.core.config import DQEMUConfig
 from repro.core.services.base import attribute_timeouts
 from repro.core.splitting import FalseSharingDetector, SplitDecision
 from repro.core.stats import RunStats
-from repro.mem.layout import PAGE_SIZE, SHADOW_BASE
+from repro.errors import ProtocolError
+from repro.mem.layout import PAGE_SIZE
+from repro.mem.sharding import ShadowPageAllocator, shard_of
 from repro.mem.splitmap import SplitEntry, SplitMap
 from repro.net.endpoint import Endpoint
-from repro.net.messages import Ack, SplitTableUpdate
+from repro.net.messages import Ack
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.services.coherence import CoherenceService
+    from repro.core.services.coordinator import CrossShardCoordinator
 
 __all__ = ["SplittingService"]
 
@@ -40,6 +50,8 @@ class SplittingService:
         node_ids: list[int],
         node_id: int,
         spawn_guarded: Callable[[Generator, str], object],
+        coordinator: "CrossShardCoordinator",
+        shard: int = 0,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -49,13 +61,15 @@ class SplittingService:
         self.node_ids = list(node_ids)
         self.node_id = node_id
         self.spawn_guarded = spawn_guarded
-        self.split = SplitMap()  # canonical split table
+        self.coordinator = coordinator
+        self.shard = shard
+        self.split = SplitMap()  # this shard's slice of the canonical table
         self.detector = FalseSharingDetector(
             trigger=config.splitting_trigger,
             history=config.splitting_history,
             max_regions=config.splitting_max_regions,
         )
-        self._shadow_cursor = SHADOW_BASE // PAGE_SIZE
+        self._shadows = ShadowPageAllocator(shard, coordinator.nshards)
         self._retired_shadows: set[int] = set()
         # Adaptive revert (§5.1 "adaptive scheme"): a split whose shadow pages
         # keep ping-ponging was mis-inferred; merge it back and never re-split.
@@ -93,15 +107,19 @@ class SplittingService:
     # -- page splitting (§5.1) ------------------------------------------------------
 
     def _alloc_shadow(self) -> int:
-        page = self._shadow_cursor
-        self._shadow_cursor += 1
-        return page
+        """Next shadow page on *this shard* (shard-affine by construction)."""
+        return self._shadows.alloc()
 
     def _do_split(self, decision: SplitDecision):
         """Caller holds the original page's lock."""
         cfg = self.config
         co = self.coherence
         page = decision.page
+        if shard_of(page, self.coordinator.nshards) != self.shard:
+            raise ProtocolError(
+                f"split of page {page:#x} routed to shard {self.shard} "
+                f"(owner is shard {shard_of(page, self.coordinator.nshards)})"
+            )
         yield self.sim.timeout(cfg.split_service_ns)
         yield from co.pull_home_and_invalidate(page)
         content = co.home_snapshot(page)
@@ -124,16 +142,9 @@ class SplittingService:
         self.run_stats.protocol.splits += 1
 
     def _broadcast_split_table(self):
-        entries = self.split.clone_state()
-        acks = yield self.sim.all_of(
-            [
-                self.endpoint.request(
-                    nid, SplitTableUpdate(entries=entries),
-                    timeout_ns=self.config.rpc_timeout_ns,
-                )
-                for nid in self.node_ids
-            ]
-        )
+        # Cross-shard: nodes replace their whole table per update, so the
+        # coordinator unions every shard's entries and serializes broadcasts.
+        acks = yield from self.coordinator.broadcast_split_table()
         return acks
 
     # -- merging (correctness escape hatch for region-crossing accesses) ----------

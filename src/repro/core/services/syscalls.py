@@ -1,10 +1,16 @@
 """Master syscall service: delegated syscall execution (paper §4.3).
 
 Executes each ``syscall_request`` against the centralized system state,
-migrating pointer-argument pages home through the coherence service's
+migrating pointer-argument pages home through the coherence layer's
 guest-memory accessor.  Thread-lifecycle results (clone placement, live
 migration, exit_group) are resolved here; futex park/wake delivery is
 delegated to the futex service.
+
+On a sharded master this is a *shared control service*, registered on shard
+0's dispatcher (``syscall_request`` carries no page key, so it routes to
+``("mgr", src, 0)``); a global syscall touching a multi-page buffer reaches
+each page's owning shard through the guest-memory accessor's coordinator,
+one page at a time.
 """
 
 from __future__ import annotations

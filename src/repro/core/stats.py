@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["ThreadStats", "ProtocolStats", "ServiceStats", "RunStats"]
+__all__ = ["ThreadStats", "ProtocolStats", "ShardLoadStats", "ServiceStats", "RunStats"]
 
 
 @dataclass
@@ -59,6 +59,20 @@ class ProtocolStats:
     thread_migrations: int = 0
     futex_waits: int = 0
     futex_wakes: int = 0
+    #: Frames that reached a master manager after exit_group finished the
+    #: run.  They are dropped on purpose (the guest is gone), but invisibly
+    #: dropping them made post-exit races undiagnosable.
+    post_finish_drops: int = 0
+
+
+@dataclass
+class ShardLoadStats:
+    """One master shard's slice of a service's load (see ``ServiceStats``)."""
+
+    shard: int = 0
+    requests: int = 0
+    busy_ns: int = 0
+    queue_wait_ns: int = 0
 
 
 @dataclass
@@ -70,7 +84,17 @@ class ServiceStats:
     push batches for the forwarder).  ``busy_ns`` is virtual time spent
     inside the service's handlers — for master services this is a direct
     read on how much of the master-link budget each subsystem consumes.
-    Slave-side services aggregate across nodes under one name.
+    Fire-and-forget work with no handler span (futex wake delivery) bills
+    its frames' wire-serialization time instead, so the attribution stays
+    honest without touching the clock.  Slave-side services aggregate
+    across nodes under one name.
+
+    ``queue_wait_ns`` is the time served frames sat in the handling
+    process's mailbox between arrival and dispatch start — the head-of-line
+    blocking the sharded master exists to attack.  ``shards`` breaks
+    requests/busy/queue-wait down per master shard for dispatched work
+    (empty for node-side services, which are not sharded).
+
     ``duplicates`` counts replayed frames the dispatcher dropped before
     they reached the handler (nonzero only under duplication faults or a
     retransmitting fabric).
@@ -79,7 +103,14 @@ class ServiceStats:
     name: str = ""
     requests: int = 0
     busy_ns: int = 0
+    queue_wait_ns: int = 0
     duplicates: int = 0
+    shards: dict[int, ShardLoadStats] = field(default_factory=dict)
+
+    def shard(self, k: int) -> ShardLoadStats:
+        if k not in self.shards:
+            self.shards[k] = ShardLoadStats(shard=k)
+        return self.shards[k]
 
 
 @dataclass

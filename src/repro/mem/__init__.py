@@ -14,6 +14,12 @@ from repro.mem.layout import (
 )
 from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
+from repro.mem.sharding import (
+    ShadowPageAllocator,
+    ShardedDirectoryView,
+    ShardedSplitView,
+    shard_of,
+)
 
 __all__ = [
     "FlatMemory",
@@ -26,10 +32,14 @@ __all__ = [
     "PageStore",
     "SHADOW_BASE",
     "STACK_TOP",
+    "ShadowPageAllocator",
+    "ShardedDirectoryView",
+    "ShardedSplitView",
     "TEXT_BASE",
     "check_span",
     "page_base",
     "page_of",
     "page_offset",
+    "shard_of",
     "sign_extend",
 ]

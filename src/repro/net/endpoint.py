@@ -87,6 +87,11 @@ class Endpoint:
         if msg.in_reply_to:
             self.rpc.complete(msg)
             return
+        # Mailbox-arrival stamp: dispatchers subtract this from their dispatch
+        # start to attribute queue wait (head-of-line blocking) per service.
+        # A dynamic attribute, not a frame field — it never hits the wire
+        # model and re-stamps naturally on injected duplicates.
+        msg._arrived_ns = self.sim.now
         key = self._route(msg)
         queue = self._queues.get(key)
         if queue is None:
