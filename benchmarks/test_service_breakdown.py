@@ -40,6 +40,10 @@ def test_service_breakdown_mutex(benchmark, record_result):
     # Contention on the master managers is visible as mailbox queue wait.
     assert services["coherence"].queue_wait_ns > 0
     assert all(s.duplicates == 0 for s in services.values())
+    # Default config never retransmits, so the reliability columns must stay
+    # out of the rendered table (keeping the committed tables byte-stable).
+    assert all(s.retransmits == 0 and s.recoveries == 0 for s in services.values())
+    assert "retransmits" not in render_service_breakdown(result.stats)
 
 
 def test_service_breakdown_seq_forwarding(benchmark, record_result):

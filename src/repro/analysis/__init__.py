@@ -1,13 +1,16 @@
 """Experiment harnesses, metrics and reporting for the paper's evaluation."""
 
 from repro.analysis.experiments import (
+    Fig5PartitionResult,
     Fig5Result,
     Fig5ShardedResult,
     Fig6Result,
     Fig7Result,
     Fig8Result,
+    PartitionScenario,
     Table1Result,
     run_fig5,
+    run_fig5_partition,
     run_fig5_sharded,
     run_fig6,
     run_fig7,
@@ -23,17 +26,20 @@ from repro.analysis.metrics import (
 from repro.analysis.reporting import render_series, render_table
 
 __all__ = [
+    "Fig5PartitionResult",
     "Fig5Result",
     "Fig5ShardedResult",
     "Fig6Result",
     "Fig7Result",
     "Fig8Result",
+    "PartitionScenario",
     "Table1Result",
     "mean_fault_latency_us",
     "normalized",
     "render_series",
     "render_table",
     "run_fig5",
+    "run_fig5_partition",
     "run_fig5_sharded",
     "run_fig6",
     "run_fig7",

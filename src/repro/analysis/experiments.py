@@ -22,10 +22,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.analysis.metrics import mean_fault_latency_us, speedup, throughput_mbps
-from repro.analysis.reporting import render_series, render_table
+from repro.analysis.reporting import render_series, render_service_breakdown, render_table
 from repro.baselines.qemu import run_qemu
 from repro.core.cluster import Cluster, RunResult
 from repro.core.config import DQEMUConfig
+from repro.core.services.base import ServiceTimeout
+from repro.net.faults import FaultPlan, drop
 from repro.workloads import (
     blackscholes,
     fluidanimate,
@@ -38,12 +40,15 @@ from repro.workloads import (
 
 __all__ = [
     "Fig5Result",
+    "Fig5PartitionResult",
     "Fig5ShardedResult",
     "Fig6Result",
     "Table1Result",
     "Fig7Result",
     "Fig8Result",
+    "PartitionScenario",
     "run_fig5",
+    "run_fig5_partition",
     "run_fig5_sharded",
     "run_fig6",
     "run_table1",
@@ -208,6 +213,198 @@ def run_fig5_sharded(
         params=dict(
             n_threads=n_threads, n_options=n_options, reps=reps,
             comm_scale=comm_scale,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 (partition) — reliable delivery under loss and a mid-run partition
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PartitionScenario:
+    """One row of the recovery experiment: a fault schedule and its outcome."""
+
+    name: str
+    completed: bool
+    virtual_ns: Optional[int]  # None when the run aborted
+    goodput_mips: Optional[float]  # guest insns / virtual second
+    dropped_frames: int
+    retransmits: int
+    recoveries: int
+    reply_replays: int
+    mean_recovery_us: float
+    failure: str = ""  # ServiceTimeout text when completed is False
+
+    def row(self) -> tuple:
+        return (
+            self.name,
+            "yes" if self.completed else "ABORTED",
+            "-" if self.virtual_ns is None else self.virtual_ns / 1e3,
+            "-" if self.goodput_mips is None else self.goodput_mips,
+            self.dropped_frames,
+            self.retransmits,
+            self.recoveries,
+            self.mean_recovery_us,
+        )
+
+
+@dataclass
+class Fig5PartitionResult:
+    """Partition-then-heal sweep for the RPC reliability layer (ROADMAP
+    "Robustness": retransmission with backoff riding the fault injector).
+
+    Same blackscholes kernel as the sharded sweep — its boundary false
+    sharing keeps coherence traffic on the wire for the whole run, so any
+    fault window is guaranteed to hit in-flight RPCs.  Scenarios: a clean
+    run with the retry budget armed (must behave bit-identically to a
+    retry-free run), two background drop rates (goodput degrades but every
+    loss is retransmitted), and a mid-run partition of one slave — run once
+    with retries disabled (the run must abort with a ``ServiceTimeout``)
+    and once with the budget armed (the partition is ridden out and the run
+    completes).
+    """
+
+    scenarios: list[PartitionScenario]
+    healed_breakdown: str  # per-service table from the partition+retry run
+    peer_states: dict[int, str]  # final health view of the healed run
+    params: dict
+
+    def scenario(self, name: str) -> PartitionScenario:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def render(self) -> str:
+        table = render_table(
+            [
+                "scenario",
+                "completed",
+                "time (us)",
+                "goodput (MIPS)",
+                "drops",
+                "retransmits",
+                "recovered",
+                "mean recovery (us)",
+            ],
+            [s.row() for s in self.scenarios],
+            title=(
+                "Fig. 5 (partition) — goodput vs drop rate and "
+                "partition-then-heal recovery"
+            ),
+        )
+        aborted = [s for s in self.scenarios if not s.completed]
+        lines = [table, ""]
+        for s in aborted:
+            lines.append(f"{s.name}: {s.failure}")
+        peers = ", ".join(
+            f"n{nid}={state}" for nid, state in sorted(self.peer_states.items())
+        )
+        lines.append(f"peer health after healed run: {peers}")
+        lines.append("")
+        lines.append(self.healed_breakdown)
+        return "\n".join(lines)
+
+
+def run_fig5_partition(
+    n_threads: int = 8,
+    n_options: int = 8160,
+    reps: int = 8,
+    n_slaves: int = 2,
+    comm_scale: float = 100.0,
+    timeout_ns: int = 20_000,
+    retries: int = 6,
+    backoff_base_ns: int = 10_000,
+    backoff_jitter_ns: int = 2_000,
+    drop_everies: Sequence[int] = (120, 40),
+    window_frac: float = 0.35,
+    window_ns: int = 150_000,
+    seed: int = 3,
+) -> Fig5PartitionResult:
+    """Reliable-delivery recovery sweep (see :class:`Fig5PartitionResult`).
+
+    The retry budget must out-span the partition: with the defaults the
+    final retransmit of a call first sent at the window's start goes out
+    ``timeout * retries + sum(backoffs)`` ≈ 750 us after the first
+    transmission, comfortably past the 150 us window.  The partitioned node
+    is the highest slave id; the window starts at ``window_frac`` of the
+    clean run's duration, when worker threads are mid-kernel and coherence
+    traffic is dense.
+    """
+    prog = blackscholes.build(n_threads=n_threads, n_options=n_options, reps=reps)
+    reliable = dict(
+        rpc_timeout_ns=timeout_ns,
+        rpc_max_retries=retries,
+        rpc_backoff_base_ns=backoff_base_ns,
+        rpc_backoff_jitter_ns=backoff_jitter_ns,
+    )
+
+    def run(**cfg_kw):
+        cfg = DQEMUConfig(**cfg_kw).time_scaled(comm_scale)
+        return Cluster(n_slaves, cfg).run(prog, **RUN_KW)
+
+    def scenario(name: str, result: RunResult) -> PartitionScenario:
+        return PartitionScenario(
+            name=name,
+            completed=True,
+            virtual_ns=result.virtual_ns,
+            goodput_mips=result.stats.insns_executed / (result.virtual_ns / 1e9) / 1e6,
+            dropped_frames=result.faults.dropped if result.faults else 0,
+            retransmits=result.rpc.retransmits,
+            recoveries=result.rpc.recoveries,
+            reply_replays=result.rpc.reply_replays,
+            mean_recovery_us=result.rpc.mean_recovery_us,
+        )
+
+    scenarios = []
+
+    clean = run(**reliable)
+    scenarios.append(scenario("no faults", clean))
+
+    for every in drop_everies:
+        plan = FaultPlan.of(drop(every_nth=every, loopback=False), seed=seed)
+        scenarios.append(scenario(f"drop 1/{every}", run(fault_plan=plan, **reliable)))
+
+    start = int(window_frac * clean.virtual_ns)
+    plan = FaultPlan.partition([n_slaves], start, start + window_ns, seed=seed)
+
+    try:
+        bare = run(rpc_timeout_ns=timeout_ns, fault_plan=plan)
+        scenarios.append(scenario("partition (no retry)", bare))
+    except ServiceTimeout as exc:
+        scenarios.append(
+            PartitionScenario(
+                name="partition (no retry)",
+                completed=False,
+                virtual_ns=None,
+                goodput_mips=None,
+                dropped_frames=0,
+                retransmits=0,
+                recoveries=0,
+                reply_replays=0,
+                mean_recovery_us=0.0,
+                failure=str(exc),
+            )
+        )
+
+    healed = run(fault_plan=plan, **reliable)
+    scenarios.append(scenario("partition + retry", healed))
+
+    return Fig5PartitionResult(
+        scenarios=scenarios,
+        healed_breakdown=render_service_breakdown(healed.stats),
+        peer_states={
+            nid: peer.state.value for nid, peer in healed.health.peers.items()
+        },
+        params=dict(
+            n_threads=n_threads, n_options=n_options, reps=reps,
+            n_slaves=n_slaves, comm_scale=comm_scale,
+            timeout_ns=timeout_ns, retries=retries,
+            backoff_base_ns=backoff_base_ns, backoff_jitter_ns=backoff_jitter_ns,
+            drop_everies=tuple(drop_everies),
+            window_frac=window_frac, window_ns=window_ns, seed=seed,
         ),
     )
 

@@ -53,22 +53,31 @@ def render_service_breakdown(stats) -> str:
     mailbox before dispatch (head-of-line blocking).  Services dispatched on
     more than one master shard get per-shard sub-rows under the aggregate,
     exposing shard load imbalance.
+
+    The reliability columns (retransmits / recoveries / mean recovery
+    latency, fed by the RPC retransmit layer) appear only when some service
+    actually retried — zero-loss tables keep rendering byte-identically.
     """
-    rows = []
-    for s in sorted(
+    services = sorted(
         stats.services.values(), key=lambda s: (-s.busy_ns, -s.requests, s.name)
-    ):
-        rows.append(
-            [s.name, "all", s.requests, s.busy_ns / 1e3, s.queue_wait_ns / 1e3]
-        )
+    )
+    reliable = any(s.retransmits or s.recoveries for s in services)
+    headers = ["service", "shard", "requests", "busy (us)", "queue-wait (us)"]
+    if reliable:
+        headers += ["retransmits", "recovered", "mean recovery (us)"]
+    rows = []
+    for s in services:
+        row = [s.name, "all", s.requests, s.busy_ns / 1e3, s.queue_wait_ns / 1e3]
+        if reliable:
+            mean = s.recovery_wait_ns / s.recoveries / 1e3 if s.recoveries else 0.0
+            row += [s.retransmits, s.recoveries, mean]
+        rows.append(row)
         if len(s.shards) > 1:
             for k in sorted(s.shards):
                 sh = s.shards[k]
-                rows.append(
-                    [s.name, k, sh.requests, sh.busy_ns / 1e3, sh.queue_wait_ns / 1e3]
-                )
-    return render_table(
-        ["service", "shard", "requests", "busy (us)", "queue-wait (us)"],
-        rows,
-        title="Runtime service load",
-    )
+                sub = [s.name, k, sh.requests, sh.busy_ns / 1e3, sh.queue_wait_ns / 1e3]
+                if reliable:
+                    # Retransmit counters are per service, not per shard.
+                    sub += ["", "", ""]
+                rows.append(sub)
+    return render_table(headers, rows, title="Runtime service load")

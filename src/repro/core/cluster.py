@@ -33,6 +33,9 @@ from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
 from repro.net.fabric import Fabric, FabricStats
 from repro.net.faults import FaultInjector, FaultStats
+from repro.net.health import HealthTracker
+from repro.net.messages import reset_req_seq
+from repro.net.rpc import RpcStats
 from repro.sim.engine import Simulator
 
 __all__ = ["Cluster", "RunResult"]
@@ -47,6 +50,8 @@ class RunResult:
     stats: RunStats
     fabric: Optional[FabricStats] = None
     faults: Optional[FaultStats] = None  # set when the run had a fault plan
+    rpc: Optional[RpcStats] = None  # channel reliability counters, summed
+    health: Optional[HealthTracker] = None  # per-peer up/suspect/down view
     placements: dict[int, int] = field(default_factory=dict)
     files: dict[str, bytes] = field(default_factory=dict)
     trace: Optional["Tracer"] = None  # set when the cluster ran with trace=True
@@ -91,6 +96,9 @@ class Cluster:
         self._used = True
         cfg = self.config
 
+        # Req ids (and the backoff jitter keyed on them) must be a function
+        # of this run alone, not of earlier runs in the same process.
+        reset_req_seq()
         sim = Simulator()
         fabric = Fabric(
             sim,
@@ -101,6 +109,10 @@ class Cluster:
         injector: Optional[FaultInjector] = None
         if cfg.fault_plan is not None:
             injector = FaultInjector(sim, cfg.fault_plan).attach(fabric)
+        # Peer health is pure bookkeeping (no simulator events), so every run
+        # carries a tracker; the RPC channels feed it through fabric.health.
+        health = HealthTracker(sim)
+        fabric.health = health
         stats = RunStats()
         done = sim.event()
 
@@ -116,6 +128,13 @@ class Cluster:
             )
             for nid in node_ids
         }
+        if cfg.rpc_max_retries:
+            # Retransmits of already-answered requests are deduplicated by the
+            # dispatchers, so the answer must come from the channels' reply
+            # caches; armed only with retries to keep default-state footprints
+            # identical.
+            for node in nodes.values():
+                node.endpoint.rpc.enable_reply_cache()
 
         # Authoritative guest memory on the master (the "home" copies).
         home = PageStore()
@@ -171,6 +190,8 @@ class Cluster:
             stats=stats,
             fabric=fabric.stats,
             faults=injector.stats if injector is not None else None,
+            rpc=RpcStats.collect(node.endpoint.rpc for node in nodes.values()),
+            health=health,
             placements=placer.distribution(),
             files=state.vfs.dump_files(),
             trace=self.tracer if self.tracer.enabled else None,

@@ -21,10 +21,13 @@ Calibration notes (see EXPERIMENTS.md for the resulting numbers):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigError
 from repro.net.faults import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.rpc import RetryPolicy
 
 __all__ = ["DQEMUConfig"]
 
@@ -99,6 +102,18 @@ class DQEMUConfig:
     # a dead or partitioned peer fail the run loudly with a ServiceTimeout
     # naming the service, message kind and peer instead of deadlocking.
     rpc_timeout_ns: Optional[int] = None
+    # Reliable delivery (docs/PROTOCOL.md "Reliable delivery"): with
+    # rpc_max_retries > 0 every service-issued RPC retransmits a cloned frame
+    # up to that many times on timeout expiry — waiting out an exponential
+    # backoff (base << attempt, plus a deterministic jitter in
+    # [0, rpc_backoff_jitter_ns] hashed from the request id) before each —
+    # and only then escalates to ServiceTimeout.  Requires rpc_timeout_ns
+    # (loss is detected by the timeout).  The default of 0 sends nothing
+    # extra ever: wire traffic and timings stay bit-identical to the
+    # retry-free protocol.
+    rpc_max_retries: int = 0
+    rpc_backoff_base_ns: int = 50_000
+    rpc_backoff_jitter_ns: int = 0
     # Fault plan applied to the fabric (repro.net.faults.FaultPlan).  None
     # leaves the wire untouched; an empty plan attaches the injection
     # machinery but injects nothing — runs stay bit-identical either way.
@@ -123,6 +138,15 @@ class DQEMUConfig:
             raise ConfigError("master_shards must be >= 1")
         if self.rpc_timeout_ns is not None and self.rpc_timeout_ns <= 0:
             raise ConfigError("rpc_timeout_ns must be positive (or None)")
+        if self.rpc_max_retries < 0:
+            raise ConfigError("rpc_max_retries must be >= 0")
+        if self.rpc_max_retries and self.rpc_timeout_ns is None:
+            raise ConfigError(
+                "rpc_max_retries needs rpc_timeout_ns: retransmission is "
+                "triggered by timeout expiry"
+            )
+        if self.rpc_backoff_base_ns < 0 or self.rpc_backoff_jitter_ns < 0:
+            raise ConfigError("rpc backoff delays must be non-negative")
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ConfigError("fault_plan must be a repro.net.faults.FaultPlan")
         for nid, cores in (self.node_cores or {}).items():
@@ -150,6 +174,24 @@ class DQEMUConfig:
     @property
     def effective_cpi_dbt(self) -> float:
         return self.cpi_dbt * self.qemu_cpi_discount if self.pure_qemu else self.cpi_dbt
+
+    def retry_policy(self) -> Optional["RetryPolicy"]:
+        """The RPC reliability policy these options describe, or ``None``.
+
+        ``None`` (the default) is the protocol's historic behavior: one
+        transmission per call, timeout (if armed) escalating straight to
+        :class:`ServiceTimeout`.  Services resolve this once at construction
+        and pass it to every request they issue.
+        """
+        if not self.rpc_max_retries:
+            return None
+        from repro.net.rpc import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.rpc_max_retries,
+            backoff_base_ns=self.rpc_backoff_base_ns,
+            backoff_jitter_ns=self.rpc_backoff_jitter_ns,
+        )
 
     def with_options(self, **kwargs) -> "DQEMUConfig":
         """Return a modified copy (configs are frozen)."""

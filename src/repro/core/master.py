@@ -79,7 +79,7 @@ class MasterShard:
             sim, config, endpoint, trace, run_stats,
             node_ids, node_id, spawn_guarded, coordinator, shard,
         )
-        self.dispatcher = Dispatcher(sim, run_stats, shard=shard)
+        self.dispatcher = Dispatcher(sim, run_stats, shard=shard, endpoint=endpoint)
         self.dispatcher.register(self.coherence)
         self.dispatcher.register(self.splitting)
 

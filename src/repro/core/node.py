@@ -99,7 +99,7 @@ class NodeRuntime:
         self.on_failure = on_failure or (lambda exc: (_ for _ in ()).throw(exc))
 
         self.endpoint = Endpoint(sim, fabric, node_id)
-        self.dispatcher = Dispatcher(sim, run_stats)
+        self.dispatcher = Dispatcher(sim, run_stats, endpoint=self.endpoint)
         for service in (
             NodeCoherenceService(self),
             NodeSplitTableService(self),
@@ -112,6 +112,20 @@ class NodeRuntime:
             lambda msg: "comm" if msg.kind in command_kinds
             else ("mgr", msg.src, _master_shard_key(msg, nshards))
         )
+        # Loss recovery for node-issued RPCs (page requests, merge requests,
+        # delegated syscalls).  Retransmit traffic is attributed to the
+        # node-side service name that owns the protocol plane; the stats
+        # bindings exist only when retries are armed, so default runs create
+        # no extra RunStats rows ("node.syscall" is not a registered service).
+        self.rpc_retry = config.retry_policy()
+        if self.rpc_retry is not None:
+            self._page_retry_stats = run_stats.service(NodeCoherenceService.name)
+            self._merge_retry_stats = run_stats.service(NodeSplitTableService.name)
+            self._syscall_retry_stats = run_stats.service("node.syscall")
+        else:
+            self._page_retry_stats = None
+            self._merge_retry_stats = None
+            self._syscall_retry_stats = None
         self.pagestore = PageStore()
         self.splitmap = SplitMap()
         self.llsc = LLSCTable()
@@ -273,6 +287,7 @@ class NodeRuntime:
                     self.master_id,
                     PageRequest(page=page, write=write, offset=offset, size=size),
                     timeout_ns=self.config.rpc_timeout_ns,
+                    retry=self.rpc_retry, stats=self._page_retry_stats,
                 )
                 if write:
                     reply = yield req
@@ -304,6 +319,7 @@ class NodeRuntime:
             yield self.endpoint.request(
                 self.master_id, MergeRequest(page=orig_page),
                 timeout_ns=self.config.rpc_timeout_ns,
+                retry=self.rpc_retry, stats=self._merge_retry_stats,
             )
 
     # -- syscalls ----------------------------------------------------------------
@@ -335,6 +351,7 @@ class NodeRuntime:
                 self.master_id,
                 SyscallRequest(tid=cpu.tid, sysno=sysno, args=args, context=cpu.snapshot()),
                 timeout_ns=self.config.rpc_timeout_ns,
+                retry=self.rpc_retry, stats=self._syscall_retry_stats,
             )
         th.stats.syscall_ns += self.sim.now - t0
         if reply.exited:

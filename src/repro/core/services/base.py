@@ -25,6 +25,10 @@ Two protocol-robustness concerns live at this seam as well:
   delegated syscalls or futex wakes are not idempotent.  The dispatcher
   remembers recently served correlation ids (bounded FIFO) and silently
   skips replays, billing them to the service's ``duplicates`` counter.
+  When the owning runtime's endpoint is known and the RPC reply cache is
+  armed (retries configured), a skipped replay of an already-*answered*
+  request is answered again from the cache — the half of at-most-once that
+  makes a lost reply recoverable (docs/PROTOCOL.md "Reliable delivery").
 """
 
 from __future__ import annotations
@@ -50,15 +54,18 @@ class ServiceTimeout(RpcTimeout):
     """
 
     def __init__(self, service: str, inner: RpcTimeout):
+        retries = getattr(inner, "retries", 0)
+        detail = f" after {retries} retransmits" if retries else ""
         NetworkError.__init__(
             self,
             f"service {service!r}: no reply to {inner.request.kind!r} "
             f"(req {inner.request.req_id}) from node {inner.request.dst} "
-            f"within {inner.timeout_ns} ns",
+            f"within {inner.timeout_ns} ns{detail}",
         )
         self.service = service
         self.request = inner.request
         self.timeout_ns = inner.timeout_ns
+        self.retries = retries
 
 
 @contextmanager
@@ -104,13 +111,25 @@ class Dispatcher:
     #: resurrect an evicted one).
     DEDUP_LIMIT = 4096
 
-    def __init__(self, sim: Simulator, run_stats: RunStats, shard: Optional[int] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        run_stats: RunStats,
+        shard: Optional[int] = None,
+        endpoint=None,
+    ):
         self.sim = sim
         self.run_stats = run_stats
         #: Master shard this dispatcher serves (``None`` for node-side
         #: dispatchers): served work is additionally billed to the service's
         #: per-shard breakdown so shard imbalance is visible.
         self.shard = shard
+        #: The owning runtime's endpoint, when known: lets a deduplicated
+        #: replay be answered from the RPC channel's reply cache (a
+        #: retransmitted request whose original was served *and* answered
+        #: must get its reply again, or a lost reply would be unrecoverable).
+        #: Optional so bare dispatchers in tests keep working.
+        self.endpoint = endpoint
         self.services: list[Service] = []
         self._routes: dict[str, Service] = {}
         self._served: OrderedDict[int, None] = OrderedDict()
@@ -179,6 +198,12 @@ class Dispatcher:
         stats = self.run_stats.service(service.name)
         if msg.req_id and not self._first_delivery(msg.req_id):
             stats.duplicates += 1
+            if self.endpoint is not None:
+                # A retransmit of an already-answered request: replay the
+                # cached reply (no-op when the cache is off, evicted, or the
+                # original dispatch is still running — its eventual reply or
+                # the client's next retransmit covers those).
+                self.endpoint.rpc.resend_reply(msg)
             return None
         t0 = self.sim.now if started_at is None else started_at
         arrived = getattr(msg, "_arrived_ns", None)

@@ -101,6 +101,11 @@ class CoherenceService:
         self.run_stats = run_stats
         self.home = home
         self.directory = Directory()
+        # Loss recovery for the requests this service issues (invalidates,
+        # write-backs).  Resolved once; stats binding only when armed, so
+        # default runs create no extra RunStats entries.
+        self.retry = config.retry_policy()
+        self.retry_stats = run_stats.service(self.name) if self.retry else None
         self._page_locks: dict[int, SimLock] = {}
         # Bound by the composition root (MasterRuntime.__init__).
         self.splitting: "SplittingService" = None  # type: ignore[assignment]
@@ -152,6 +157,7 @@ class CoherenceService:
                 ack = yield self.endpoint.request(
                     owner, WriteBack(page=page),
                     timeout_ns=self.config.rpc_timeout_ns,
+                    retry=self.retry, stats=self.retry_stats,
                 )
                 self.home_install(page, ack.data)
                 self.directory.downgrade_owner(page)
@@ -179,6 +185,7 @@ class CoherenceService:
                     self.endpoint.request(
                         n, Invalidate(page=page, want_data=(n == owner)),
                         timeout_ns=self.config.rpc_timeout_ns,
+                        retry=self.retry, stats=self.retry_stats,
                     )
                     for n in holders
                 ]
@@ -245,12 +252,14 @@ class CoherenceService:
                     ack = yield self.endpoint.request(
                         plan.fetch_from, Invalidate(page=page, want_data=True),
                         timeout_ns=cfg.rpc_timeout_ns,
+                        retry=self.retry, stats=self.retry_stats,
                     )
                     proto.invalidations += 1
                 else:
                     ack = yield self.endpoint.request(
                         plan.fetch_from, WriteBack(page=page),
                         timeout_ns=cfg.rpc_timeout_ns,
+                        retry=self.retry, stats=self.retry_stats,
                     )
                     proto.downgrades += 1
                 if ack.data is not None:
@@ -262,6 +271,7 @@ class CoherenceService:
                         self.endpoint.request(
                             n, Invalidate(page=page, want_data=False),
                             timeout_ns=cfg.rpc_timeout_ns,
+                            retry=self.retry, stats=self.retry_stats,
                         )
                         for n in others
                     ]

@@ -117,7 +117,7 @@ class CrossShardCoordinator:
         entries.sort(key=lambda e: e.orig_page)
         return tuple(entries)
 
-    def broadcast_split_table(self):
+    def broadcast_split_table(self, retry=None, stats=None):
         """Push the full (union) split table to every node, serialized.
 
         Nodes replace their whole table on each ``SplitTableUpdate``, so
@@ -125,26 +125,33 @@ class CrossShardCoordinator:
         frame would clobber the earlier shard's change with a stale union.
         The caller still holds its shard's page locks for the split/merge
         being published — broadcast order is therefore also the publication
-        order of table changes.
+        order of table changes.  ``retry``/``stats`` are the *calling*
+        splitting service's loss-recovery policy and counter sink — the
+        coordinator issues the frames, the shard's service owns the traffic.
         """
         if self._broadcast_lock is None:
             # Single shard: the unsharded fast path, bit-identical to the
             # pre-sharding master (no lock event is ever scheduled).
-            acks = yield from self._send_update(self.split_table_snapshot())
+            acks = yield from self._send_update(
+                self.split_table_snapshot(), retry, stats
+            )
             return acks
         yield self._broadcast_lock.acquire()
         try:
-            acks = yield from self._send_update(self.split_table_snapshot())
+            acks = yield from self._send_update(
+                self.split_table_snapshot(), retry, stats
+            )
             return acks
         finally:
             self._broadcast_lock.release()
 
-    def _send_update(self, entries: tuple["SplitEntry", ...]):
+    def _send_update(self, entries: tuple["SplitEntry", ...], retry=None, stats=None):
         acks = yield self.sim.all_of(
             [
                 self.endpoint.request(
                     nid, SplitTableUpdate(entries=entries),
                     timeout_ns=self.config.rpc_timeout_ns,
+                    retry=retry, stats=stats,
                 )
                 for nid in self.node_ids
             ]

@@ -47,6 +47,10 @@ class FutexService:
         self.run_stats = run_stats
         self.config = config
         self.spawn_guarded = spawn_guarded
+        # Loss recovery for acked wake delivery (only meaningful when wakes
+        # are requests at all, i.e. rpc_timeout_ns armed).
+        self.retry = config.retry_policy()
+        self.retry_stats = run_stats.service(self.name) if self.retry else None
 
     def handle(self, msg):  # pragma: no cover - no wire-facing kinds
         raise NotImplementedError("futex service handles no inbound kinds")
@@ -78,7 +82,10 @@ class FutexService:
             if timeout_ns is None:
                 self.endpoint.send(waiter.node, wake)
             else:
-                ack = self.endpoint.request(waiter.node, wake, timeout_ns=timeout_ns)
+                ack = self.endpoint.request(
+                    waiter.node, wake, timeout_ns=timeout_ns,
+                    retry=self.retry, stats=self.retry_stats,
+                )
                 self.spawn_guarded(
                     self._await_ack(ack), f"futex-wake-ack@tid{waiter.tid}"
                 )

@@ -63,6 +63,10 @@ class SplittingService:
         self.spawn_guarded = spawn_guarded
         self.coordinator = coordinator
         self.shard = shard
+        # Loss recovery for the split-table broadcasts this service triggers
+        # (issued through the coordinator, attributed here).
+        self.retry = config.retry_policy()
+        self.retry_stats = run_stats.service(self.name) if self.retry else None
         self.split = SplitMap()  # this shard's slice of the canonical table
         self.detector = FalseSharingDetector(
             trigger=config.splitting_trigger,
@@ -144,7 +148,9 @@ class SplittingService:
     def _broadcast_split_table(self):
         # Cross-shard: nodes replace their whole table per update, so the
         # coordinator unions every shard's entries and serializes broadcasts.
-        acks = yield from self.coordinator.broadcast_split_table()
+        acks = yield from self.coordinator.broadcast_split_table(
+            retry=self.retry, stats=self.retry_stats
+        )
         return acks
 
     # -- merging (correctness escape hatch for region-crossing accesses) ----------

@@ -70,6 +70,9 @@ class SyscallService:
         self.futexes = futexes
         self.finish = finish
         self.executor = SyscallExecutor(state, guest_mem)
+        # Loss recovery for the spawn/migrate requests this service issues.
+        self.retry = config.retry_policy()
+        self.retry_stats = run_stats.service(self.name) if self.retry else None
 
     # -- delegated syscalls (§4.3) ---------------------------------------------------
 
@@ -123,6 +126,7 @@ class SyscallService:
         yield self.endpoint.request(
             node_id, SpawnThread(tid=rec.tid, context=child),
             timeout_ns=self.config.rpc_timeout_ns,
+            retry=self.retry, stats=self.retry_stats,
         )
         self.endpoint.reply(msg, SyscallReply(retval=rec.tid))
 
@@ -154,5 +158,6 @@ class SyscallService:
         yield self.endpoint.request(
             target, SpawnThread(tid=msg.tid, context=context),
             timeout_ns=self.config.rpc_timeout_ns,
+            retry=self.retry, stats=self.retry_stats,
         )
         self.endpoint.reply(msg, SyscallReply(migrated=True))

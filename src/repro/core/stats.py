@@ -98,6 +98,14 @@ class ServiceStats:
     ``duplicates`` counts replayed frames the dispatcher dropped before
     they reached the handler (nonzero only under duplication faults or a
     retransmitting fabric).
+
+    The reliability counters are filled by the RPC retransmit layer
+    (docs/PROTOCOL.md "Reliable delivery") for requests *issued* by this
+    service: ``retransmits`` clones re-sent after a missed timeout window,
+    ``recoveries`` retried calls that did complete, and
+    ``recovery_wait_ns`` the total first-send-to-reply span of those
+    recoveries (mean recovery latency = recovery_wait_ns / recoveries).
+    All zero unless ``DQEMUConfig.rpc_max_retries`` is armed.
     """
 
     name: str = ""
@@ -105,6 +113,9 @@ class ServiceStats:
     busy_ns: int = 0
     queue_wait_ns: int = 0
     duplicates: int = 0
+    retransmits: int = 0
+    recoveries: int = 0
+    recovery_wait_ns: int = 0
     shards: dict[int, ShardLoadStats] = field(default_factory=dict)
 
     def shard(self, k: int) -> ShardLoadStats:

@@ -4,7 +4,8 @@ from repro.net import messages
 from repro.net.endpoint import Endpoint
 from repro.net.fabric import Fabric, FabricStats
 from repro.net.faults import FaultInjector, FaultPlan, FaultRule, FaultStats
-from repro.net.rpc import RpcChannel, RpcTimeout
+from repro.net.health import HealthTracker, PeerHealth, PeerState
+from repro.net.rpc import RetryPolicy, RpcChannel, RpcStats, RpcTimeout
 
 __all__ = [
     "Endpoint",
@@ -14,7 +15,12 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "FaultStats",
+    "HealthTracker",
+    "PeerHealth",
+    "PeerState",
+    "RetryPolicy",
     "RpcChannel",
+    "RpcStats",
     "RpcTimeout",
     "messages",
 ]

@@ -72,9 +72,22 @@ class Endpoint:
         """Fire-and-forget transmission."""
         self.transmit(dst, msg)
 
-    def request(self, dst: int, msg: Message, *, timeout_ns: Optional[int] = None) -> Event:
-        """Send ``msg`` and return an event firing with the reply message."""
-        return self.rpc.call(dst, msg, timeout_ns=timeout_ns)
+    def request(
+        self,
+        dst: int,
+        msg: Message,
+        *,
+        timeout_ns: Optional[int] = None,
+        retry=None,
+        stats=None,
+    ) -> Event:
+        """Send ``msg`` and return an event firing with the reply message.
+
+        ``retry`` (a :class:`~repro.net.rpc.RetryPolicy`) arms loss recovery
+        on top of the timeout; ``stats`` receives the per-service
+        retransmit/recovery counts (see :meth:`RpcChannel.call`).
+        """
+        return self.rpc.call(dst, msg, timeout_ns=timeout_ns, retry=retry, stats=stats)
 
     def reply(self, to: Message, msg: Message) -> None:
         """Send ``msg`` as the reply correlated with request ``to``."""

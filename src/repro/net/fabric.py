@@ -23,6 +23,7 @@ from repro.sim.engine import Simulator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.endpoint import Endpoint
     from repro.net.faults import FaultStats
+    from repro.net.health import HealthTracker
 
 __all__ = ["Fabric", "FabricStats"]
 
@@ -79,6 +80,10 @@ class Fabric:
         #: Injection counters, set by ``FaultInjector.attach``; ``None`` on a
         #: lossless (un-instrumented) fabric.
         self.fault_stats: Optional["FaultStats"] = None
+        #: Per-peer health view fed by the RPC reliability layer
+        #: (``repro.net.health.HealthTracker``), attached by the cluster the
+        #: same way fault stats are; ``None`` on a bare fabric.
+        self.health: Optional["HealthTracker"] = None
 
     # -- wiring -------------------------------------------------------------
 

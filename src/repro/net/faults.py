@@ -66,6 +66,10 @@ class FaultRule:
 
     * ``kinds`` — match only these message kinds (``None`` = any kind);
     * ``src`` / ``dst`` — match only frames from / to this node id;
+    * ``loopback`` — ``True``: only a node talking to itself, ``False``:
+      only cross-node frames (``None`` = either).  A partition that cut a
+      node's loopback path would wedge the node against *itself*, which no
+      physical cable fault can do;
     * ``after_ns`` / ``until_ns`` — virtual-time window ``[after, until)``;
     * ``every_nth`` — fire on every Nth frame satisfying the predicate;
     * ``max_count`` — stop firing after this many injections.
@@ -79,6 +83,7 @@ class FaultRule:
     kinds: Optional[frozenset[str]] = None
     src: Optional[int] = None
     dst: Optional[int] = None
+    loopback: Optional[bool] = None
     every_nth: int = 1
     max_count: Optional[int] = None
     after_ns: int = 0
@@ -120,6 +125,8 @@ class FaultRule:
             return False
         if self.dst is not None and msg.dst != self.dst:
             return False
+        if self.loopback is not None and (msg.src == msg.dst) is not self.loopback:
+            return False
         if now < self.after_ns:
             return False
         if self.until_ns is not None and now >= self.until_ns:
@@ -134,6 +141,8 @@ class FaultRule:
             match.append(f"src={self.src}")
         if self.dst is not None:
             match.append(f"dst={self.dst}")
+        if self.loopback is not None:
+            match.append("loopback" if self.loopback else "no loopback")
         if self.after_ns or self.until_ns is not None:
             match.append(f"t in [{self.after_ns},{self.until_ns})")
         if self.every_nth > 1:
@@ -189,6 +198,39 @@ class FaultPlan:
 
     @staticmethod
     def of(*rules: FaultRule, seed: int = 0) -> "FaultPlan":
+        return FaultPlan(rules=tuple(rules), seed=seed)
+
+    @staticmethod
+    def partition(
+        nodes: Iterable[int],
+        start_ns: int,
+        end_ns: int,
+        *,
+        extra: Iterable[FaultRule] = (),
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """A network partition: isolate ``nodes`` for ``[start_ns, end_ns)``.
+
+        Every frame into *or* out of a listed node is dropped for the window
+        — both directions, both relative to listed and unlisted peers, so
+        listing more than one node cuts them off from each other too.  A
+        node's loopback path survives (the master keeps talking to its own
+        managers; cutting a cable cannot stop a machine from reaching
+        itself).  ``extra`` rules are prepended, letting an experiment stack
+        background loss on top of the window (first matching rule wins).
+        """
+        nodes = sorted(set(nodes))
+        if not nodes:
+            raise ConfigError("partition needs at least one node to isolate")
+        if end_ns <= start_ns:
+            raise ConfigError("partition window is empty (end_ns <= start_ns)")
+        rules = list(extra)
+        for n in nodes:
+            common = dict(
+                after_ns=start_ns, until_ns=end_ns, loopback=False
+            )
+            rules.append(drop(src=n, label=f"partition:n{n}:out", **common))
+            rules.append(drop(dst=n, label=f"partition:n{n}:in", **common))
         return FaultPlan(rules=tuple(rules), seed=seed)
 
     def describe(self) -> str:

@@ -1,0 +1,118 @@
+"""Per-peer health tracking fed by the RPC reliability layer.
+
+The retransmit layer (:mod:`repro.net.rpc`) distinguishes three things about
+a peer: it answered (heard from), it missed a timeout window and forced a
+retransmit (maybe slow, maybe gone), or it exhausted a call's whole retry
+budget (as good as dead for that call).  This module turns those signals
+into a cluster-wide per-peer view — :class:`PeerState` ``up`` / ``suspect``
+/ ``down`` with consecutive-failure counts and last-heard-from timestamps —
+so experiments and services can tell a slow peer from a dead one without
+parsing exception strings.
+
+One :class:`HealthTracker` serves the whole cluster: every endpoint's
+:class:`~repro.net.rpc.RpcChannel` reports into it through
+``Fabric.health`` (mirroring how ``Fabric.fault_stats`` is attached), and
+entries are keyed by the *peer being judged*, merging observations from all
+of its clients.  The tracker is pure bookkeeping — it never schedules a
+simulator event — so attaching it cannot perturb event ordering, and every
+run (retries armed or not) can carry one for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["PeerState", "PeerHealth", "HealthTracker"]
+
+
+class PeerState(str, Enum):
+    UP = "up"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+
+@dataclass
+class PeerHealth:
+    """One peer's record, merged across every endpoint that talks to it."""
+
+    node: int
+    state: PeerState = PeerState.UP
+    #: Timeout windows missed since the peer last answered anyone.
+    consecutive_failures: int = 0
+    retransmits: int = 0  # retransmits ever aimed at this peer
+    recoveries: int = 0  # calls that recovered after retransmitting to it
+    exhausted: int = 0  # calls that ran out their whole retry budget
+    last_heard_ns: Optional[int] = None
+    last_failure_ns: Optional[int] = None
+
+
+@dataclass
+class HealthTracker:
+    """Cluster-wide peer states: up until proven slow, down when exhausted.
+
+    ``suspect_after`` consecutive missed timeout windows demote a peer to
+    ``suspect``; ``down_after`` (or any call exhausting its retry budget)
+    demote it to ``down``.  Any answered call resets the peer to ``up`` —
+    a healed partition heals the health view too.
+    """
+
+    sim: Simulator
+    suspect_after: int = 2
+    down_after: int = 5
+    peers: dict[int, PeerHealth] = field(default_factory=dict)
+
+    def peer(self, node: int) -> PeerHealth:
+        if node not in self.peers:
+            self.peers[node] = PeerHealth(node=node)
+        return self.peers[node]
+
+    # -- signals from the RPC layer ------------------------------------------
+
+    def heard_from(self, node: int) -> None:
+        p = self.peer(node)
+        p.last_heard_ns = self.sim.now
+        p.consecutive_failures = 0
+        p.state = PeerState.UP
+
+    def retransmitted(self, node: int) -> None:
+        p = self.peer(node)
+        p.retransmits += 1
+        p.consecutive_failures += 1
+        p.last_failure_ns = self.sim.now
+        if p.consecutive_failures >= self.down_after:
+            p.state = PeerState.DOWN
+        elif p.consecutive_failures >= self.suspect_after:
+            p.state = PeerState.SUSPECT
+
+    def recovered(self, node: int) -> None:
+        p = self.peer(node)
+        p.recoveries += 1
+        # heard_from() runs alongside and resets state/failure counts.
+
+    def exhausted_budget(self, node: int) -> None:
+        p = self.peer(node)
+        p.exhausted += 1
+        p.last_failure_ns = self.sim.now
+        p.state = PeerState.DOWN
+
+    # -- queries ----------------------------------------------------------------
+
+    def state_of(self, node: int) -> PeerState:
+        p = self.peers.get(node)
+        return p.state if p is not None else PeerState.UP
+
+    def states(self) -> dict[int, PeerState]:
+        return {node: p.state for node, p in sorted(self.peers.items())}
+
+    def describe(self) -> str:
+        if not self.peers:
+            return "no peers observed"
+        return "; ".join(
+            f"n{node}={p.state.value}"
+            f"(fails={p.consecutive_failures}, retx={p.retransmits})"
+            for node, p in sorted(self.peers.items())
+        )

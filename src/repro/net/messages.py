@@ -40,6 +40,18 @@ HEADER_BYTES = 64
 _seq = itertools.count(1)
 
 
+def reset_req_seq(start: int = 1) -> None:
+    """Restart the request-id sequence (one shared counter per process).
+
+    ``Cluster.run`` calls this so req ids — and anything keyed on them, such
+    as retry backoff jitter — are a function of the run alone, not of how
+    many frames earlier runs in the same process happened to allocate.
+    Clusters never exchange frames, so cross-run uniqueness is not needed.
+    """
+    global _seq
+    _seq = itertools.count(start)
+
+
 @dataclass(kw_only=True)
 class Message:
     """Base protocol frame.

@@ -1,4 +1,4 @@
-"""Typed request–reply layer over the fabric (RPC correlation).
+"""Typed request–reply layer over the fabric (RPC correlation + reliability).
 
 Every node's :class:`~repro.net.endpoint.Endpoint` owns one
 :class:`RpcChannel`.  A *call* stamps the outbound frame with a correlation
@@ -15,6 +15,21 @@ arms the hook on every service-issued request so fault-injection
 experiments (:mod:`repro.net.faults`) and slave-death detection hang off
 it.
 
+On top of the timeout sits the *reliability layer* (docs/PROTOCOL.md
+"Reliable delivery"): a per-call :class:`RetryPolicy` turns each timeout
+expiry into a retransmission of a **cloned** frame (the endpoint stamps the
+caller's object in place, so re-sending the same instance would alias
+protocol state across deliveries — see ``endpoint.transmit``) after an
+exponential backoff with deterministic jitter, escalating to
+:class:`RpcTimeout` only once the whole budget is spent.  Retransmits keep
+the original ``req_id``, so the server side can deduplicate replays
+(dispatcher dedup) and the client side can deduplicate a late first reply
+(tombstones); a retransmit whose original request was already *served* is
+answered from the server channel's bounded reply cache instead of being
+silently dropped, which is what makes a lost **reply** recoverable too.
+Together the three mechanisms give at-most-once execution with
+effectively-once delivery under loss.
+
 Settled correlation ids — timed out or completed — are remembered as
 *tombstones* so a late reply to a timed-out request, or a replayed copy of
 a reply already delivered (duplication faults), is dropped silently instead
@@ -27,28 +42,126 @@ without limit.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.errors import NetworkError
+from repro.errors import ConfigError, NetworkError
+from repro.net.faults import clone_frame
 from repro.net.messages import Message
 from repro.sim.engine import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.net.endpoint import Endpoint
+    from repro.net.health import HealthTracker
 
-__all__ = ["RpcChannel", "RpcTimeout"]
+__all__ = ["RpcChannel", "RpcTimeout", "RetryPolicy", "RpcStats"]
 
 
 class RpcTimeout(NetworkError):
-    """A request's optional timeout expired before the reply arrived."""
+    """A request's timeout (and retry budget, if any) expired unanswered."""
 
-    def __init__(self, msg: Message, timeout_ns: int):
+    def __init__(self, msg: Message, timeout_ns: int, retries: int = 0):
+        detail = f" after {retries} retransmits" if retries else ""
         super().__init__(
             f"rpc: no reply to {msg.kind} (req {msg.req_id}) from node "
-            f"{msg.dst} within {timeout_ns} ns"
+            f"{msg.dst} within {timeout_ns} ns{detail}"
         )
         self.request = msg
         self.timeout_ns = timeout_ns
+        self.retries = retries
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a deterministic integer hash (no wall clock)."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-call retransmission budget with deterministic backoff.
+
+    On the k-th timeout expiry (k = 0 for the original transmission) the
+    call waits ``backoff_base_ns << k`` plus a jitter in
+    ``[0, backoff_jitter_ns]`` drawn from a splitmix64 hash of
+    ``(req_id, k, seed)`` — fully determined by simulation state, never by
+    wall-clock randomness — then retransmits a cloned frame and re-arms the
+    same ``timeout_ns``.  After ``max_retries`` retransmits the next expiry
+    fails the call with :class:`RpcTimeout`.
+    """
+
+    max_retries: int
+    backoff_base_ns: int = 50_000
+    backoff_jitter_ns: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_ns < 0 or self.backoff_jitter_ns < 0:
+            raise ConfigError("backoff delays must be non-negative")
+
+    def backoff_ns(self, attempt: int, req_id: int) -> int:
+        delay = self.backoff_base_ns << attempt
+        if self.backoff_jitter_ns:
+            h = _mix64((req_id << 20) ^ (attempt << 8) ^ self.seed)
+            delay += h % (self.backoff_jitter_ns + 1)
+        return delay
+
+
+@dataclass
+class RpcStats:
+    """Aggregate reliability counters across a run's RPC channels.
+
+    The per-channel counters live on each endpoint's :class:`RpcChannel`;
+    :meth:`collect` sums them for ``RunResult.rpc`` so experiments read one
+    place.  ``recovery_wait_ns`` accumulates, for each recovered call, the
+    span from its *first* transmission to the reply that finally landed —
+    ``mean_recovery_us`` is the recovery-latency column of the partition
+    experiment.
+    """
+
+    dropped_replies: int = 0
+    duplicate_replies: int = 0
+    retransmits: int = 0
+    recoveries: int = 0
+    exhausted: int = 0
+    reply_replays: int = 0
+    recovery_wait_ns: int = 0
+
+    @property
+    def mean_recovery_us(self) -> float:
+        if not self.recoveries:
+            return 0.0
+        return self.recovery_wait_ns / self.recoveries / 1e3
+
+    @classmethod
+    def collect(cls, channels: Iterable["RpcChannel"]) -> "RpcStats":
+        total = cls()
+        for ch in channels:
+            total.dropped_replies += ch.dropped_replies
+            total.duplicate_replies += ch.duplicate_replies
+            total.retransmits += ch.retransmits
+            total.recoveries += ch.recoveries
+            total.exhausted += ch.exhausted
+            total.reply_replays += ch.reply_replays
+            total.recovery_wait_ns += ch.recovery_wait_ns
+        return total
+
+
+@dataclass
+class _Call:
+    """Client-side state of one armed (timeout-carrying) call."""
+
+    dst: int
+    msg: Message
+    timeout_ns: int
+    retry: Optional[RetryPolicy]
+    stats: object  # duck-typed ServiceStats (or None)
+    first_sent_ns: int
+    attempt: int = 0  # retransmits sent so far
+    retransmitted: bool = False
 
 
 class RpcChannel:
@@ -60,46 +173,172 @@ class RpcChannel:
     #: far beyond any frame's flight time through the fabric, so a late or
     #: replayed reply always finds its tombstone while it can still arrive.
     TOMBSTONE_TTL_NS = 1_000_000_000
+    #: Bound on cached outbound replies (reply replay for retransmitted
+    #: requests whose original was already served); FIFO eviction, same
+    #: rationale as the tombstone cap.
+    REPLY_CACHE_LIMIT = 1024
 
-    def __init__(self, sim: Simulator, endpoint: "Endpoint"):
+    def __init__(self, sim: Simulator, endpoint):
         self.sim = sim
         self.endpoint = endpoint
         self._pending: dict[int, Event] = {}
+        #: req_id -> state of an armed call (timeout and/or retries).
+        self._calls: dict[int, _Call] = {}
+        #: req_id -> the currently armed timer (timeout or backoff).  Exactly
+        #: one live timer per armed call; stale ones are cancelled on re-arm
+        #: and on completion so long runs don't accumulate dead callbacks.
+        self._timers: dict[int, Event] = {}
         #: req_id -> (settled-at ns, "expired" | "completed")
         self._tombstones: OrderedDict[int, tuple[int, str]] = OrderedDict()
+        #: req_id -> the reply frame we sent, for replay to retransmits.
+        #: Only populated once :meth:`enable_reply_cache` is called (retries
+        #: armed somewhere in the cluster) — default runs keep zero extra
+        #: state and zero extra wire traffic.
+        self._sent_replies: OrderedDict[int, Message] = OrderedDict()
+        self._reply_cache_enabled = False
         self.dropped_replies = 0  # late replies to timed-out requests
         self.duplicate_replies = 0  # replayed replies to completed requests
+        self.retransmits = 0  # cloned frames re-sent after a timeout window
+        self.recoveries = 0  # retried calls that did complete
+        self.exhausted = 0  # calls that failed after their whole budget
+        self.reply_replays = 0  # cached replies re-sent to retransmits
+        self.recovery_wait_ns = 0  # first-send -> reply, summed over recoveries
 
     # -- client side ----------------------------------------------------------
 
-    def call(self, dst: int, msg: Message, *, timeout_ns: Optional[int] = None) -> Event:
+    def call(
+        self,
+        dst: int,
+        msg: Message,
+        *,
+        timeout_ns: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        stats=None,
+    ) -> Event:
         """Send ``msg`` to ``dst``; the returned event fires with the reply.
 
         With ``timeout_ns`` set, the event instead *fails* with
         :class:`RpcTimeout` if the reply does not arrive in time (a late
-        reply to a timed-out request is then dropped silently).
+        reply to a timed-out request is then dropped silently).  A ``retry``
+        policy turns each expiry into a backoff + retransmission of a cloned
+        frame until the budget runs out; ``stats`` (a duck-typed
+        :class:`~repro.core.stats.ServiceStats`) receives per-service
+        ``retransmits`` / ``recoveries`` counts.
         """
         ev = Event(self.sim)
         self._pending[msg.req_id] = ev
         self.endpoint.transmit(dst, msg)
         if timeout_ns is not None:
-            self.sim.timeout(timeout_ns).add_callback(
-                lambda _e: self._expire(msg, timeout_ns)
+            self._calls[msg.req_id] = _Call(
+                dst=dst, msg=msg, timeout_ns=timeout_ns, retry=retry,
+                stats=stats, first_sent_ns=self.sim.now,
             )
+            self._arm(msg.req_id, timeout_ns, self._expired)
+        elif retry is not None:
+            raise ConfigError("a retry policy needs timeout_ns to detect loss")
         return ev
 
-    def _expire(self, msg: Message, timeout_ns: int) -> None:
-        ev = self._pending.pop(msg.req_id, None)
-        if ev is not None and not ev.triggered:
-            self._remember(msg.req_id, "expired")
-            ev.fail(RpcTimeout(msg, timeout_ns))
+    def _arm(self, req_id: int, delay: int, fire) -> None:
+        timer = self.sim.timeout(delay)
+        self._timers[req_id] = timer
+        timer.add_callback(lambda _e: fire(req_id, timer))
+
+    def _disarm(self, req_id: int) -> None:
+        timer = self._timers.pop(req_id, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _expired(self, req_id: int, timer: Event) -> None:
+        """One timeout window elapsed: retransmit (after backoff) or fail."""
+        if self._timers.get(req_id) is not timer:
+            return  # stale timer: the call completed or re-armed meanwhile
+        del self._timers[req_id]
+        call = self._calls.get(req_id)
+        ev = self._pending.get(req_id)
+        if call is None or ev is None or ev.triggered:
+            return
+        if call.retry is not None and call.attempt < call.retry.max_retries:
+            self._arm(
+                req_id, call.retry.backoff_ns(call.attempt, req_id),
+                self._retransmit,
+            )
+            return
+        # Budget exhausted (or no retry policy): fail the call.
+        del self._pending[req_id]
+        del self._calls[req_id]
+        self._remember(req_id, "expired")
+        if call.attempt:
+            self.exhausted += 1
+        health = self._health()
+        if health is not None:
+            # Retries or not, an unanswered budget means the peer is gone as
+            # far as this call is concerned.
+            health.exhausted_budget(call.dst)
+        ev.fail(RpcTimeout(call.msg, call.timeout_ns, retries=call.attempt))
+
+    def _retransmit(self, req_id: int, timer: Event) -> None:
+        """Backoff elapsed: re-send a clone and re-arm the timeout window."""
+        if self._timers.get(req_id) is not timer:
+            return
+        del self._timers[req_id]
+        call = self._calls.get(req_id)
+        ev = self._pending.get(req_id)
+        if call is None or ev is None or ev.triggered:
+            return
+        call.attempt += 1
+        call.retransmitted = True
+        self.retransmits += 1
+        if call.stats is not None:
+            call.stats.retransmits += 1
+        health = self._health()
+        if health is not None:
+            health.retransmitted(call.dst)
+        # Clone per the endpoint aliasing contract: the original instance is
+        # owned by the fabric from its first transmission.
+        self.endpoint.transmit(call.dst, clone_frame(call.msg))
+        self._arm(req_id, call.timeout_ns, self._expired)
+
+    def _health(self) -> Optional["HealthTracker"]:
+        return getattr(self.endpoint.fabric, "health", None)
 
     # -- server side ----------------------------------------------------------
+
+    def enable_reply_cache(self) -> None:
+        """Start caching outbound replies for replay to retransmits.
+
+        Armed by the cluster when retries are configured: a retransmitted
+        request whose original was served *and answered* is deduplicated by
+        the dispatcher before reaching any handler, so without this cache a
+        lost reply would never be re-sent and the client would burn its whole
+        budget for nothing.
+        """
+        self._reply_cache_enabled = True
 
     def reply(self, to: Message, msg: Message) -> None:
         """Send ``msg`` as the reply correlated with request ``to``."""
         msg.in_reply_to = to.req_id
+        if self._reply_cache_enabled:
+            cache = self._sent_replies
+            cache[to.req_id] = msg
+            cache.move_to_end(to.req_id)
+            while len(cache) > self.REPLY_CACHE_LIMIT:
+                cache.popitem(last=False)
         self.endpoint.transmit(to.src, msg)
+
+    def resend_reply(self, request: Message) -> bool:
+        """Replay the cached reply to a retransmitted, already-served request.
+
+        Returns False when there is nothing cached — either the cache is
+        disabled, the entry was evicted, or the original dispatch is still in
+        progress (its eventual reply, or the client's next retransmit, covers
+        that case).
+        """
+        cached = self._sent_replies.get(request.req_id)
+        if cached is None:
+            return False
+        self.reply_replays += 1
+        self.endpoint.transmit(request.src, clone_frame(cached))
+        return True
 
     # -- delivery (called by the endpoint) -------------------------------------
 
@@ -118,6 +357,20 @@ class RpcChannel:
                 f"node {self.endpoint.node_id}: reply to unknown request "
                 f"{msg.in_reply_to}"
             )
+        self._disarm(msg.in_reply_to)
+        call = self._calls.pop(msg.in_reply_to, None)
+        health = self._health()
+        if health is not None:
+            health.heard_from(msg.src)
+        if call is not None and call.retransmitted:
+            self.recoveries += 1
+            waited = self.sim.now - call.first_sent_ns
+            self.recovery_wait_ns += waited
+            if call.stats is not None:
+                call.stats.recoveries += 1
+                call.stats.recovery_wait_ns += waited
+            if health is not None:
+                health.recovered(msg.src)
         self._remember(msg.in_reply_to, "completed")
         ev.succeed(msg)
 
@@ -147,3 +400,7 @@ class RpcChannel:
     @property
     def tombstones(self) -> int:
         return len(self._tombstones)
+
+    @property
+    def cached_replies(self) -> int:
+        return len(self._sent_replies)

@@ -34,7 +34,7 @@ class Event:
     simulator processes it.  Processes wait on events by yielding them.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_cancelled")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -43,6 +43,7 @@ class Event:
         self._ok = True
         self._triggered = False
         self._processed = False
+        self._cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -51,6 +52,23 @@ class Event:
     @property
     def processed(self) -> bool:
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Neutralize a scheduled event: when its heap entry is popped, it is
+        discarded without running callbacks (and a failed one without raising).
+
+        The heap entry itself stays put — removing from the middle of a binary
+        heap is O(n) — so the clock still advances to the entry's time exactly
+        as it would have for the live event.  Meant for armed timers whose
+        outcome is no longer wanted (an RPC timeout whose reply arrived); a
+        long-lived channel that re-arms timers cancels the stale ones instead
+        of accumulating dead callbacks.
+        """
+        self._cancelled = True
 
     @property
     def ok(self) -> bool:
@@ -252,6 +270,12 @@ class Simulator:
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
+        if event._cancelled:
+            # Same clock advance a live no-op callback would have caused, but
+            # neither callbacks nor the failed-event check run.
+            event._processed = True
+            event.callbacks = []
+            return
         event._processed = True
         callbacks, event.callbacks = event.callbacks, []
         for cb in callbacks:

@@ -261,3 +261,36 @@ def test_determinism_two_identical_runs():
         return trace
 
     assert build() == build()
+
+
+def test_cancelled_timeout_advances_clock_without_callbacks():
+    sim = Simulator()
+    fired = []
+    t = sim.timeout(100)
+    t.add_callback(lambda _e: fired.append(1))
+    t.cancel()
+    sim.run()
+    # The heap entry stays, so the clock still reaches the timer's expiry —
+    # cancellation must not perturb event ordering for everything else.
+    assert sim.now == 100
+    assert fired == []
+    assert t.cancelled and t.processed
+
+
+def test_cancelled_failed_event_does_not_raise():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("nobody should see this"))
+    ev.cancel()
+    sim.run()  # a live failed event with no waiters would raise here
+    assert ev.processed
+
+
+def test_cancel_after_processing_is_a_noop():
+    sim = Simulator()
+    seen = []
+    t = sim.timeout(5)
+    t.add_callback(lambda _e: seen.append(sim.now))
+    sim.run()
+    t.cancel()
+    assert seen == [5]
