@@ -1,0 +1,106 @@
+"""Node-crash tolerance experiment (crash / evacuate / drain).
+
+``test_fig5_crash`` regenerates the crash-tolerance table
+(``benchmarks/results/services_fig5_crash.txt``) and asserts its shape
+claims: a mid-kernel crash of one slave aborts the run with a
+``ServiceTimeout`` when the failure domain is disarmed (the seed behavior),
+completes degraded when evacuation is armed (threads whose contexts died
+with the node are reaped and reported lost, its directory footprint is
+re-homed), and completes without casualties under a cooperative drain.
+
+``test_crash_smoke_matrix`` is the seeded crash-matrix smoke run CI
+executes once per slave via the ``DQEMU_SMOKE_CRASH_NODE`` environment
+variable.  It deliberately does not use the benchmark fixture, so the main
+benchmarks job (``--benchmark-only``) skips it.
+"""
+
+import os
+
+from benchmarks.conftest import run_once
+from repro import Cluster, DQEMUConfig
+from repro.analysis.experiments import run_fig5_crash
+from repro.net.faults import FaultPlan
+from repro.workloads import blackscholes
+
+
+def test_fig5_crash(benchmark, record_result):
+    result = run_once(benchmark, run_fig5_crash)
+    record_result("services_fig5_crash", result.render())
+
+    clean = result.scenario("no faults")
+    assert clean.completed
+
+    # Seed behavior: a dead slave with no failure domain kills the run.
+    bare = result.scenario("crash (no evacuation)")
+    assert not bare.completed
+    assert "no reply" in bare.failure
+
+    # Evacuation: the run completes degraded.  The victim's threads were
+    # mid-kernel (running, contexts on their cores), so they are lost with
+    # per-thread attribution; its directory footprint is reclaimed.
+    evac = result.scenario("crash + evacuation")
+    assert evac.completed
+    assert evac.lost_threads > 0
+    assert evac.rehomed_pages > 0
+    assert evac.detection_ns is not None and evac.detection_ns > 0
+    assert evac.recovery_ns is not None
+    # Detection is bounded by one call's retry budget against the corpse.
+    p = result.params
+    windows = p["timeout_ns"] * (p["retries"] + 1)
+    backoffs = sum(
+        (p["backoff_base_ns"] << k) + p["backoff_jitter_ns"]
+        for k in range(p["retries"])
+    )
+    assert evac.detection_ns <= windows + backoffs
+    # Losing a node costs wall time but not the run.
+    assert evac.virtual_ns > clean.virtual_ns
+    # The detector's verdict sticks: the victim ends the run down.
+    assert result.peer_states[p["victim"]] == "down"
+
+    # Cooperative drain: every thread is handed back, nothing is lost.
+    drain = result.scenario("cooperative drain")
+    assert drain.completed
+    assert drain.evacuated_threads > 0
+    assert drain.lost_threads == 0 and drain.lost_pages == 0
+    assert drain.recovery_ns is not None and drain.recovery_ns > 0
+
+    # The committed table carries the failure-domain columns.
+    assert "lost threads" in result.evacuated_breakdown
+    assert "rehomed pages" in result.evacuated_breakdown
+
+
+def test_crash_smoke_matrix():
+    """Seeded crash smoke run, parameterized by CI's crash-matrix job."""
+    victim = int(os.environ.get("DQEMU_SMOKE_CRASH_NODE", "1"))
+    n_slaves = 3
+    prog = blackscholes.build(n_threads=6, n_options=2040, reps=4)
+
+    def cfg(**kw):
+        return DQEMUConfig(
+            rpc_timeout_ns=20_000,
+            rpc_max_retries=4,
+            rpc_backoff_base_ns=10_000,
+            rpc_backoff_jitter_ns=2_000,
+            **kw,
+        ).time_scaled(100.0)
+
+    clean = Cluster(n_slaves, cfg()).run(prog, max_virtual_ms=60_000_000)
+    assert clean.exit_code == 0
+
+    crash_at = int(0.35 * clean.virtual_ns)
+    plan = FaultPlan.crash(victim, crash_at, seed=victim)
+    result = Cluster(
+        n_slaves,
+        cfg(
+            fault_plan=plan,
+            evacuation_enabled=True,
+            health_aware_placement=True,
+        ),
+    ).run(prog, max_virtual_ms=60_000_000)
+    assert result.exit_code == 0
+    assert result.failures is not None
+    rec = result.failures.nodes[victim]
+    assert rec.kind == "crash"
+    assert rec.recovered_ns is not None
+    # Everything the victim held is accounted for: evacuated or lost.
+    assert len(rec.evacuated) + len(rec.lost) > 0

@@ -40,14 +40,17 @@ from repro.workloads import (
 
 __all__ = [
     "Fig5Result",
+    "Fig5CrashResult",
     "Fig5PartitionResult",
     "Fig5ShardedResult",
     "Fig6Result",
     "Table1Result",
     "Fig7Result",
     "Fig8Result",
+    "CrashScenario",
     "PartitionScenario",
     "run_fig5",
+    "run_fig5_crash",
     "run_fig5_partition",
     "run_fig5_sharded",
     "run_fig6",
@@ -405,6 +408,205 @@ def run_fig5_partition(
             backoff_base_ns=backoff_base_ns, backoff_jitter_ns=backoff_jitter_ns,
             drop_everies=tuple(drop_everies),
             window_frac=window_frac, window_ns=window_ns, seed=seed,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 (crash) — node-crash tolerance: evacuate, re-home, degrade
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrashScenario:
+    """One row of the crash-tolerance experiment."""
+
+    name: str
+    completed: bool
+    virtual_ns: Optional[int]  # None when the run aborted
+    evacuated_threads: int
+    lost_threads: int
+    rehomed_pages: int
+    lost_pages: int
+    detection_ns: Optional[int]  # fault time -> failure detected/ordered
+    recovery_ns: Optional[int]  # detected -> threads re-homed / drained
+    failure: str = ""  # ServiceTimeout text when completed is False
+
+    def row(self) -> tuple:
+        us = lambda v: "-" if v is None else v / 1e3
+        return (
+            self.name,
+            "yes" if self.completed else "ABORTED",
+            us(self.virtual_ns),
+            self.evacuated_threads,
+            self.lost_threads,
+            self.rehomed_pages,
+            self.lost_pages,
+            us(self.detection_ns),
+            us(self.recovery_ns),
+        )
+
+
+@dataclass
+class Fig5CrashResult:
+    """Node-crash tolerance sweep (ROADMAP "Robustness": health-aware
+    scheduling and crash recovery; docs/PROTOCOL.md "Failure domains").
+
+    Same blackscholes kernel as the partition sweep, one slave killed (or
+    drained) mid-kernel.  Scenarios: a clean reliable run as the baseline;
+    the crash with the failure domain disarmed (the run must abort with a
+    ``ServiceTimeout`` — the seed behavior); the same crash with evacuation
+    armed (the master declares the node dead, re-homes its directory
+    footprint, reaps the threads whose contexts died with it, and the run
+    completes degraded); and a cooperative drain of the same node at the
+    same time (every thread is evacuated, nothing is lost).
+    """
+
+    scenarios: list[CrashScenario]
+    evacuated_breakdown: str  # per-service table from the crash+evac run
+    peer_states: dict[int, str]  # final health view of the crash+evac run
+    params: dict
+
+    def scenario(self, name: str) -> CrashScenario:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def render(self) -> str:
+        table = render_table(
+            [
+                "scenario",
+                "completed",
+                "time (us)",
+                "evacuated",
+                "lost threads",
+                "rehomed pages",
+                "lost M pages",
+                "detection (us)",
+                "recovery (us)",
+            ],
+            [s.row() for s in self.scenarios],
+            title=(
+                "Fig. 5 (crash) — node-crash tolerance: evacuation, "
+                "re-homing, graceful degradation"
+            ),
+        )
+        aborted = [s for s in self.scenarios if not s.completed]
+        lines = [table, ""]
+        for s in aborted:
+            lines.append(f"{s.name}: {s.failure}")
+        peers = ", ".join(
+            f"n{nid}={state}" for nid, state in sorted(self.peer_states.items())
+        )
+        lines.append(f"peer health after crash+evacuation run: {peers}")
+        lines.append("")
+        lines.append(self.evacuated_breakdown)
+        return "\n".join(lines)
+
+
+def run_fig5_crash(
+    n_threads: int = 8,
+    n_options: int = 8160,
+    reps: int = 8,
+    n_slaves: int = 3,
+    comm_scale: float = 100.0,
+    timeout_ns: int = 20_000,
+    retries: int = 4,
+    backoff_base_ns: int = 10_000,
+    backoff_jitter_ns: int = 2_000,
+    crash_frac: float = 0.35,
+    seed: int = 3,
+    victim: Optional[int] = None,
+) -> Fig5CrashResult:
+    """Crash-tolerance sweep (see :class:`Fig5CrashResult`).
+
+    The victim (default: the highest slave id) fails at ``crash_frac`` of
+    the clean run's duration — mid-kernel, with worker threads running and
+    coherence traffic dense.  Detection latency is the span from the fault
+    time to the detector latching the node as failed, which is bounded by
+    the retry budget of the first call aimed at the corpse; recovery
+    latency is the span from detection to the last thread re-homed (for a
+    drain: order sent to ``DrainComplete``).
+    """
+    prog = blackscholes.build(n_threads=n_threads, n_options=n_options, reps=reps)
+    victim = n_slaves if victim is None else victim
+    reliable = dict(
+        rpc_timeout_ns=timeout_ns,
+        rpc_max_retries=retries,
+        rpc_backoff_base_ns=backoff_base_ns,
+        rpc_backoff_jitter_ns=backoff_jitter_ns,
+    )
+
+    def run(**cfg_kw):
+        cfg = DQEMUConfig(**cfg_kw).time_scaled(comm_scale)
+        return Cluster(n_slaves, cfg).run(prog, **RUN_KW)
+
+    def scenario(name: str, result: RunResult, fault_ns: Optional[int]) -> CrashScenario:
+        failures = result.failures
+        rec = failures.nodes.get(victim) if failures is not None else None
+        detection = None
+        if rec is not None and fault_ns is not None:
+            detection = rec.detected_ns - fault_ns
+        return CrashScenario(
+            name=name,
+            completed=True,
+            virtual_ns=result.virtual_ns,
+            evacuated_threads=failures.evacuated_threads if failures else 0,
+            lost_threads=failures.lost_threads if failures else 0,
+            rehomed_pages=failures.rehomed_pages if failures else 0,
+            lost_pages=failures.lost_pages if failures else 0,
+            detection_ns=detection,
+            recovery_ns=rec.recovery_ns if rec is not None else None,
+        )
+
+    scenarios = []
+
+    clean = run(**reliable)
+    scenarios.append(scenario("no faults", clean, None))
+
+    crash_at = int(crash_frac * clean.virtual_ns)
+    plan = FaultPlan.crash(victim, crash_at, seed=seed)
+
+    try:
+        bare = run(fault_plan=plan, **reliable)
+        scenarios.append(scenario("crash (no evacuation)", bare, crash_at))
+    except ServiceTimeout as exc:
+        scenarios.append(
+            CrashScenario(
+                name="crash (no evacuation)",
+                completed=False,
+                virtual_ns=None,
+                evacuated_threads=0,
+                lost_threads=0,
+                rehomed_pages=0,
+                lost_pages=0,
+                detection_ns=None,
+                recovery_ns=None,
+                failure=str(exc),
+            )
+        )
+
+    evac_kw = dict(evacuation_enabled=True, health_aware_placement=True)
+    evacuated = run(fault_plan=plan, **evac_kw, **reliable)
+    scenarios.append(scenario("crash + evacuation", evacuated, crash_at))
+
+    drain_plan = FaultPlan.drain(victim, crash_at)
+    drained = run(fault_plan=drain_plan, **evac_kw, **reliable)
+    scenarios.append(scenario("cooperative drain", drained, crash_at))
+
+    return Fig5CrashResult(
+        scenarios=scenarios,
+        evacuated_breakdown=render_service_breakdown(evacuated.stats),
+        peer_states={
+            nid: peer.state.value for nid, peer in evacuated.health.peers.items()
+        },
+        params=dict(
+            n_threads=n_threads, n_options=n_options, reps=reps,
+            n_slaves=n_slaves, comm_scale=comm_scale,
+            timeout_ns=timeout_ns, retries=retries,
+            backoff_base_ns=backoff_base_ns, backoff_jitter_ns=backoff_jitter_ns,
+            crash_frac=crash_frac, seed=seed, victim=victim,
         ),
     )
 

@@ -57,20 +57,31 @@ def render_service_breakdown(stats) -> str:
     The reliability columns (retransmits / recoveries / mean recovery
     latency, fed by the RPC retransmit layer) appear only when some service
     actually retried — zero-loss tables keep rendering byte-identically.
+    The failure-domain columns (threads evacuated / lost, directory pages
+    re-homed / written off) follow the same rule: they appear only when a
+    node actually crashed or drained mid-run.
     """
     services = sorted(
         stats.services.values(), key=lambda s: (-s.busy_ns, -s.requests, s.name)
     )
     reliable = any(s.retransmits or s.recoveries for s in services)
+    failure = any(
+        s.evacuations or s.lost_threads or s.rehomed_pages or s.lost_pages
+        for s in services
+    )
     headers = ["service", "shard", "requests", "busy (us)", "queue-wait (us)"]
     if reliable:
         headers += ["retransmits", "recovered", "mean recovery (us)"]
+    if failure:
+        headers += ["evacuated", "lost threads", "rehomed pages", "lost M pages"]
     rows = []
     for s in services:
         row = [s.name, "all", s.requests, s.busy_ns / 1e3, s.queue_wait_ns / 1e3]
         if reliable:
             mean = s.recovery_wait_ns / s.recoveries / 1e3 if s.recoveries else 0.0
             row += [s.retransmits, s.recoveries, mean]
+        if failure:
+            row += [s.evacuations, s.lost_threads, s.rehomed_pages, s.lost_pages]
         rows.append(row)
         if len(s.shards) > 1:
             for k in sorted(s.shards):
@@ -79,5 +90,8 @@ def render_service_breakdown(stats) -> str:
                 if reliable:
                     # Retransmit counters are per service, not per shard.
                     sub += ["", "", ""]
+                if failure:
+                    # Failure accounting is per service, not per shard.
+                    sub += ["", "", "", ""]
                 rows.append(sub)
     return render_table(headers, rows, title="Runtime service load")

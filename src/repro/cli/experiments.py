@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.analysis import (
     run_fig5,
+    run_fig5_crash,
     run_fig5_sharded,
     run_fig6,
     run_fig7,
@@ -70,6 +71,7 @@ def _ablations():
 
 EXPERIMENTS = {
     "fig5": run_fig5,
+    "fig5_crash": run_fig5_crash,
     "fig5_sharded": run_fig5_sharded,
     "fig6": run_fig6,
     "table1": run_table1,

@@ -36,6 +36,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--master-shards", type=int, default=1, metavar="K",
                    help="partition the master directory across K shard pools "
                         "(default 1: the paper's single-directory master)")
+    p.add_argument("--health-suspect-after", type=int, default=2, metavar="N",
+                   help="consecutive missed timeout windows before a peer is "
+                        "marked suspect (default 2)")
+    p.add_argument("--health-down-after", type=int, default=5, metavar="N",
+                   help="consecutive missed timeout windows before a peer is "
+                        "marked down (default 5; must exceed the suspect "
+                        "threshold)")
     p.add_argument("--qemu", action="store_true",
                    help="run the vanilla single-node QEMU baseline instead")
     p.add_argument("--stdin", default=None,
@@ -72,6 +79,8 @@ def main(argv: list[str] | None = None) -> int:
         splitting_enabled=args.splitting,
         scheduler=args.scheduler,
         master_shards=args.master_shards,
+        health_suspect_after=args.health_suspect_after,
+        health_down_after=args.health_down_after,
         pure_qemu=args.qemu,
     )
     if args.time_scale != 1.0:

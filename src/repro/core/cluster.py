@@ -22,7 +22,7 @@ from repro.core.localkernel import LocalKernel
 from repro.core.master import MasterRuntime
 from repro.core.node import NodeRuntime
 from repro.core.scheduler import ThreadPlacer
-from repro.core.stats import RunStats
+from repro.core.stats import FailureStats, RunStats
 from repro.core.trace import NULL_TRACER, Tracer
 from repro.dbt.cpu import CPUState
 from repro.errors import ConfigError, SimulationError
@@ -33,7 +33,7 @@ from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
 from repro.net.fabric import Fabric, FabricStats
 from repro.net.faults import FaultInjector, FaultStats
-from repro.net.health import HealthTracker
+from repro.net.health import ClusterHealthView, HealthTracker
 from repro.net.messages import reset_req_seq
 from repro.net.rpc import RpcStats
 from repro.sim.engine import Simulator
@@ -52,7 +52,13 @@ class RunResult:
     faults: Optional[FaultStats] = None  # set when the run had a fault plan
     rpc: Optional[RpcStats] = None  # channel reliability counters, summed
     health: Optional[HealthTracker] = None  # per-peer up/suspect/down view
+    #: Structured failure accounting (docs/PROTOCOL.md "Failure domains");
+    #: only set when the failure domain was armed for the run.
+    failures: Optional[FailureStats] = None
     placements: dict[int, int] = field(default_factory=dict)
+    #: Placement decisions the health-aware placer diverted, keyed
+    #: "n<node>:<reason>" (empty unless health_aware_placement skipped any).
+    placement_skips: dict[str, int] = field(default_factory=dict)
     files: dict[str, bytes] = field(default_factory=dict)
     trace: Optional["Tracer"] = None  # set when the cluster ran with trace=True
 
@@ -111,8 +117,22 @@ class Cluster:
             injector = FaultInjector(sim, cfg.fault_plan).attach(fabric)
         # Peer health is pure bookkeeping (no simulator events), so every run
         # carries a tracker; the RPC channels feed it through fabric.health.
-        health = HealthTracker(sim)
+        health = HealthTracker(
+            sim,
+            suspect_after=cfg.health_suspect_after,
+            down_after=cfg.health_down_after,
+        )
         fabric.health = health
+        # Failure-domain schedules and the latched cluster view over the
+        # tracker (None keeps every component on its failure-blind paths).
+        crashes = cfg.fault_plan.crashes if cfg.fault_plan is not None else ()
+        drains = cfg.fault_plan.drains if cfg.fault_plan is not None else ()
+        need_view = (
+            cfg.evacuation_enabled or cfg.health_aware_placement or bool(drains)
+        )
+        view: Optional[ClusterHealthView] = (
+            ClusterHealthView(tracker=health) if need_view else None
+        )
         stats = RunStats()
         done = sim.event()
 
@@ -149,7 +169,11 @@ class Cluster:
                 state.vfs.add_file(path, data)
 
         candidates = node_ids[1:] if (self.n_slaves and not cfg.schedule_on_master) else [0]
-        placer = ThreadPlacer(cfg.scheduler, candidates)
+        placer = ThreadPlacer(
+            cfg.scheduler, candidates,
+            health=view if cfg.health_aware_placement else None,
+            fallback=0,
+        )
 
         master: Optional[MasterRuntime] = None
         if cfg.pure_qemu:
@@ -160,8 +184,34 @@ class Cluster:
             for page in home.pages():
                 nodes[0].pagestore.install(page, home.snapshot(page), MSIState.MODIFIED)
         else:
+            master_view = view if (cfg.evacuation_enabled or drains) else None
             master = MasterRuntime(
-                sim, cfg, nodes[0], node_ids, home, state, placer, stats, done
+                sim, cfg, nodes[0], node_ids, home, state, placer, stats, done,
+                failure_view=master_view,
+            )
+
+        # -- failure-domain wiring (docs/PROTOCOL.md "Failure domains") --------
+        failure_domain = master.failure_domain if master is not None else None
+        if cfg.evacuation_enabled:
+            if failure_domain is None:
+                raise ConfigError("evacuation_enabled requires a master runtime")
+            # Promote peer-level DOWN (retry budget exhausted) into a
+            # cluster-level node failure: latch the view, evict the
+            # directory, recover the threads.
+            health.on_down.append(failure_domain.node_failed)
+        for node_id, at_ns in crashes:
+            if node_id not in nodes or node_id == 0:
+                raise ConfigError(f"cannot crash node {node_id}")
+            sim.timeout(at_ns).add_callback(
+                lambda _e, n=node_id: nodes[n].crash()
+            )
+        for node_id, at_ns in drains:
+            if node_id not in nodes or node_id == 0:
+                raise ConfigError(f"cannot drain node {node_id}")
+            if failure_domain is None:
+                raise ConfigError("drain schedules require a master runtime")
+            sim.timeout(at_ns).add_callback(
+                lambda _e, n=node_id: failure_domain.start_drain(n)
             )
 
         # Main thread starts on the master (paper Fig. 2).
@@ -192,7 +242,11 @@ class Cluster:
             faults=injector.stats if injector is not None else None,
             rpc=RpcStats.collect(node.endpoint.rpc for node in nodes.values()),
             health=health,
+            failures=(
+                failure_domain.failures if failure_domain is not None else None
+            ),
             placements=placer.distribution(),
+            placement_skips=placer.skip_counts(),
             files=state.vfs.dump_files(),
             trace=self.tracer if self.tracer.enabled else None,
         )

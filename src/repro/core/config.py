@@ -118,6 +118,23 @@ class DQEMUConfig:
     # leaves the wire untouched; an empty plan attaches the injection
     # machinery but injects nothing — runs stay bit-identical either way.
     fault_plan: Optional[FaultPlan] = None
+    # Health-tracker thresholds (docs/PROTOCOL.md "Failure domains"):
+    # consecutive missed timeout windows before a peer is demoted to
+    # suspect, and before it is demoted to down.  Any call exhausting its
+    # whole retry budget demotes the peer to down regardless.
+    health_suspect_after: int = 2
+    health_down_after: int = 5
+    # Health-aware placement (§5.3 + failure domains): the ThreadPlacer
+    # consults the cluster health view, skipping down/failed/draining
+    # candidates and deprioritizing suspect ones.  Off by default — the
+    # paper's scheduler is health-blind, and default runs must stay
+    # bit-identical.
+    health_aware_placement: bool = False
+    # Failure-domain runtime: arm the master-side failure detector and the
+    # FailureDomainService (thread evacuation, directory re-homing, lost
+    # thread/page accounting).  Requires rpc_timeout_ns — crashes are
+    # detected by timeout expiry.
+    evacuation_enabled: bool = False
 
     # -- baseline -------------------------------------------------------------
     pure_qemu: bool = False  # single-node vanilla-QEMU model (no DSM layer)
@@ -149,6 +166,18 @@ class DQEMUConfig:
             raise ConfigError("rpc backoff delays must be non-negative")
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ConfigError("fault_plan must be a repro.net.faults.FaultPlan")
+        if self.health_suspect_after < 1:
+            raise ConfigError("health_suspect_after must be >= 1")
+        if self.health_down_after <= self.health_suspect_after:
+            raise ConfigError(
+                "health_down_after must exceed health_suspect_after "
+                "(a peer is suspect before it is down)"
+            )
+        if self.evacuation_enabled and self.rpc_timeout_ns is None:
+            raise ConfigError(
+                "evacuation_enabled needs rpc_timeout_ns: node failures are "
+                "detected by timeout expiry"
+            )
         for nid, cores in (self.node_cores or {}).items():
             if cores < 1:
                 raise ConfigError(f"node {nid}: cores must be >= 1")
@@ -189,6 +218,31 @@ class DQEMUConfig:
 
         return RetryPolicy(
             max_retries=self.rpc_max_retries,
+            backoff_base_ns=self.rpc_backoff_base_ns,
+            backoff_jitter_ns=self.rpc_backoff_jitter_ns,
+        )
+
+    def nested_retry_policy(self) -> Optional["RetryPolicy"]:
+        """Retry policy for master-side *nested* calls (handler -> node).
+
+        With the failure domain armed, a handler stuck calling a dead node
+        must give up strictly before its own clients' budgets expire —
+        otherwise a recoverable crash cascades into a client
+        :class:`ServiceTimeout` before the detector can latch the failure
+        (docs/PROTOCOL.md "Failure domains").  One fewer retransmit window
+        leaves a full timeout-plus-final-backoff margin between the
+        handler's exhaustion (which marks the peer down and aborts every
+        other pending call against it) and the earliest client expiry.
+        Without the failure domain this is exactly :meth:`retry_policy`,
+        keeping budgets symmetric and default runs untouched.
+        """
+        policy = self.retry_policy()
+        if policy is None or not self.evacuation_enabled:
+            return policy
+        from repro.net.rpc import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=max(1, self.rpc_max_retries - 1),
             backoff_base_ns=self.rpc_backoff_base_ns,
             backoff_jitter_ns=self.rpc_backoff_jitter_ns,
         )

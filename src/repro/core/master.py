@@ -25,12 +25,15 @@ single-directory master, bit-for-bit.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.core.config import DQEMUConfig
 from repro.core.node import NodeRuntime
 from repro.core.scheduler import ThreadPlacer
 from repro.core.services.base import Dispatcher
 from repro.core.services.coherence import CoherenceService, CoherentGuestMemory
 from repro.core.services.coordinator import CrossShardCoordinator
+from repro.core.services.failure import FailureDomainService
 from repro.core.services.forwarding import ForwardingService
 from repro.core.services.futexes import FutexService
 from repro.core.services.splitting import SplittingService
@@ -41,6 +44,9 @@ from repro.mem.pagestore import PageStore
 from repro.mem.sharding import ShardedDirectoryView, ShardedSplitView
 from repro.net.messages import Shutdown
 from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.health import ClusterHealthView
 
 __all__ = ["MasterRuntime", "MasterShard", "MasterGuestMemory"]
 
@@ -70,10 +76,11 @@ class MasterShard:
         node_id: int,
         spawn_guarded,
         coordinator: CrossShardCoordinator,
+        view: Optional["ClusterHealthView"] = None,
     ) -> None:
         self.shard = shard
         self.coherence = CoherenceService(
-            sim, config, endpoint, trace, run_stats, home
+            sim, config, endpoint, trace, run_stats, home, view=view
         )
         self.splitting = SplittingService(
             sim, config, endpoint, trace, run_stats,
@@ -98,6 +105,8 @@ class MasterRuntime:
         placer: ThreadPlacer,
         run_stats: RunStats,
         done: Event,
+        *,
+        failure_view: Optional["ClusterHealthView"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -111,17 +120,21 @@ class MasterRuntime:
         self.done = done
         self.trace = node.trace
         self._finished = False
+        # Cluster failure view; None keeps every service on its
+        # failure-blind, bit-identical code paths.
+        self.failure_view = failure_view
 
         spawn_guarded = self._spawn_guarded
 
         # -- shard pools (see docs/PROTOCOL.md "Sharded master") ----------------
         self.coordinator = CrossShardCoordinator(
-            sim, config, self.endpoint, self.node_ids
+            sim, config, self.endpoint, self.node_ids, view=failure_view
         )
         self.shards = [
             MasterShard(
                 s, sim, config, self.endpoint, self.trace, run_stats, home,
                 self.node_ids, node.node_id, spawn_guarded, self.coordinator,
+                view=failure_view,
             )
             for s in range(config.master_shards)
         ]
@@ -138,21 +151,39 @@ class MasterRuntime:
         self.forwarding = ForwardingService(
             sim, config, self.endpoint, self.trace, run_stats, spawn_guarded
         )
-        self.futexes = FutexService(self.endpoint, run_stats, config, spawn_guarded)
+        self.futexes = FutexService(
+            self.endpoint, run_stats, config, spawn_guarded, view=failure_view
+        )
         guest_mem = CoherentGuestMemory(self.coordinator)
         self.syscalls = SyscallService(
             sim, config, self.endpoint, self.trace, run_stats,
             state, placer, self.node_ids, node.node_id,
-            guest_mem, self.futexes, self._finish,
+            guest_mem, self.futexes, self._finish, view=failure_view,
         )
         for shard in self.shards:
             shard.coherence.bind(shard.splitting, self.forwarding)
             shard.splitting.bind(shard.coherence)
         self.forwarding.bind(self.coordinator)
 
+        # The failure domain exists only when armed: registering it eagerly
+        # would add a zero "failure" row to every committed breakdown table.
+        self.failure_domain: Optional[FailureDomainService] = None
+        if failure_view is not None:
+            self.failure_domain = FailureDomainService(
+                sim, config, self.endpoint, self.trace, run_stats,
+                state, failure_view, placer.candidates, node.node_id,
+                spawn_guarded, lambda: self._finished,
+            )
+            self.failure_domain.bind(
+                [shard.coherence for shard in self.shards],
+                self.syscalls.executor, self.futexes,
+            )
+
         shard0 = self.shards[0]
         for service in (self.syscalls, self.forwarding, self.futexes):
             shard0.dispatcher.register(service)
+        if self.failure_domain is not None:
+            shard0.dispatcher.register(self.failure_domain)
 
         # Single-shard aliases (debugging, tests, unsharded call sites).
         self.coherence = shard0.coherence

@@ -45,7 +45,13 @@ from repro.mem.sharding import shard_of
 from repro.mem.splitmap import SplitMap
 from repro.net.endpoint import Endpoint
 from repro.net.fabric import Fabric
-from repro.net.messages import MergeRequest, PageRequest, SyscallRequest
+from repro.net.messages import (
+    DrainComplete,
+    EvacuateThread,
+    MergeRequest,
+    PageRequest,
+    SyscallRequest,
+)
 from repro.sim.engine import Simulator
 from repro.sim.sync import SimQueue
 
@@ -122,10 +128,12 @@ class NodeRuntime:
             self._page_retry_stats = run_stats.service(NodeCoherenceService.name)
             self._merge_retry_stats = run_stats.service(NodeSplitTableService.name)
             self._syscall_retry_stats = run_stats.service("node.syscall")
+            self._evac_retry_stats = run_stats.service(NodeControlService.name)
         else:
             self._page_retry_stats = None
             self._merge_retry_stats = None
             self._syscall_retry_stats = None
+            self._evac_retry_stats = None
         self.pagestore = PageStore()
         self.splitmap = SplitMap()
         self.llsc = LLSCTable()
@@ -152,6 +160,14 @@ class NodeRuntime:
         #: lets an outstanding read fault complete as soon as the push lands.
         self._push_gates: dict[int, object] = {}
         self.shutdown = False
+        #: Failure-domain state (docs/PROTOCOL.md "Failure domains"):
+        #: ``crashed`` is fail-stop (set by FaultPlan.crash schedules);
+        #: ``draining`` diverts every thread reaching a scheduling point
+        #: into evacuation back to the master.
+        self.crashed = False
+        self.draining = False
+        self._evacuating = 0  # evacuation RPCs still in flight
+        self._drain_sent = False
         #: Set for the pure-QEMU baseline: syscalls short-circuit locally.
         self.local_kernel: Optional["LocalKernel"] = None
 
@@ -169,9 +185,31 @@ class NodeRuntime:
             try:
                 yield from gen
             except BaseException as exc:  # noqa: BLE001 - report and stop
+                if self.crashed:
+                    return  # a dead node's processes fail silently with it
                 self.on_failure(exc)
 
         return runner()
+
+    def crash(self) -> None:
+        """Fail-stop this node (FaultPlan.crash): freeze it mid-flight.
+
+        Cores stop at their next scheduling point, the RPC channel is
+        neutered (no retransmit timers keep firing, calls issued by
+        still-suspended processes go nowhere and never complete — exactly
+        what death looks like to the process), and the permanent wire drop
+        rules the crash plan installed take care of any frame already in
+        flight.  Nothing is cleaned up: a crashed machine does not get to
+        run recovery code.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.shutdown = True
+        self.trace.emit("node", self.node_id, "crash")
+        self.endpoint.rpc.halt()
+        for _ in range(self.n_cores):
+            self.runqueue.put(None)
 
     # -- thread management ------------------------------------------------------
 
@@ -190,6 +228,11 @@ class NodeRuntime:
         return int(round(cycles / self.ghz))
 
     def _requeue(self, th: GuestThread) -> None:
+        if self.draining and not self.shutdown:
+            # Cooperative drain: every thread reaching a scheduling point is
+            # handed back to the master instead of queued locally.
+            self._evacuate(th)
+            return
         th.state = GuestThreadState.READY
         th.enqueued_at = self.sim.now
         self.runqueue.put(th)
@@ -205,6 +248,72 @@ class NodeRuntime:
         self.trace.emit("thread", self.node_id, "wake", tid=tid)
         self._requeue(th)
 
+    # -- drain evacuation (docs/PROTOCOL.md "Failure domains") -----------------
+
+    def _evacuate(self, th: GuestThread) -> None:
+        """Hand a thread back to the master for re-placement elsewhere.
+
+        Locally this looks exactly like a live migration away (same
+        bookkeeping as the ``reply.migrated`` branch of the syscall
+        handler); the context travels in an ``EvacuateThread`` request and
+        the master's failure-domain service re-spawns it on a usable node.
+        """
+        cpu = th.cpu
+        th.state = GuestThreadState.EXITED
+        cpu.halted = True
+        self.threads.pop(cpu.tid, None)
+        self.trace.emit("thread", self.node_id, "evacuating", tid=cpu.tid)
+        self._evacuating += 1
+        self.sim.spawn(
+            self._guarded(self._evacuate_rpc(cpu)),
+            name=f"evac@{self.node_id}",
+        )
+
+    def _evacuate_rpc(self, cpu: CPUState):
+        with attribute_timeouts(NodeControlService.name):
+            yield self.endpoint.request(
+                self.master_id,
+                EvacuateThread(tid=cpu.tid, context=cpu.snapshot()),
+                timeout_ns=self.config.rpc_timeout_ns,
+                retry=self.rpc_retry, stats=self._evac_retry_stats,
+            )
+        self._evacuating -= 1
+        self._check_drain_complete()
+
+    def _check_drain_complete(self) -> None:
+        """Announce drain completion once no thread remains on this node.
+
+        Parked threads stay local until their futex wake arrives (the wake
+        path then diverts them into evacuation), so a drain completes lazily
+        — exactly when the last local incarnation is gone and every
+        evacuation RPC has been acknowledged.
+        """
+        if (
+            not self.draining
+            or self._drain_sent
+            or self.shutdown
+            or self.threads
+            or self._evacuating
+        ):
+            return
+        self._drain_sent = True
+        self.sim.spawn(
+            self._guarded(self._send_drain_complete()),
+            name=f"drained@{self.node_id}",
+        )
+
+    def _send_drain_complete(self):
+        done = DrainComplete()
+        if self.config.rpc_timeout_ns is not None:
+            with attribute_timeouts(NodeControlService.name):
+                yield self.endpoint.request(
+                    self.master_id, done,
+                    timeout_ns=self.config.rpc_timeout_ns,
+                    retry=self.rpc_retry, stats=self._evac_retry_stats,
+                )
+        else:  # pragma: no cover - drains require armed timeouts in practice
+            self.endpoint.send(self.master_id, done)
+
     # -- core scheduling ------------------------------------------------------
 
     def _core(self, core_id: int):
@@ -213,6 +322,11 @@ class NodeRuntime:
             if th is None:  # shutdown sentinel
                 return
             if th.state is not GuestThreadState.READY:
+                continue
+            if self.draining:
+                # Queued before the drain order arrived: evacuate instead of
+                # running another quantum here.
+                self._evacuate(th)
                 continue
             th.stats.runnable_wait_ns += self.sim.now - th.enqueued_at
             th.state = GuestThreadState.RUNNING
@@ -230,7 +344,7 @@ class NodeRuntime:
             th.stats.quanta += 1
             kind = stop.kind
             if kind is StopKind.QUANTUM:
-                if len(self.runqueue):
+                if self.draining or len(self.runqueue):
                     self._requeue(th)  # other threads are waiting: yield the core
                     return
                 continue
@@ -360,6 +474,7 @@ class NodeRuntime:
             cpu.halted = True
             self.threads.pop(cpu.tid, None)
             self.trace.emit("thread", self.node_id, "exit", tid=cpu.tid)
+            self._check_drain_complete()
             return
         if reply.parked:
             th.state = GuestThreadState.BLOCKED
@@ -373,6 +488,7 @@ class NodeRuntime:
             cpu.halted = True
             self.threads.pop(cpu.tid, None)
             self.trace.emit("thread", self.node_id, "migrated away", tid=cpu.tid)
+            self._check_drain_complete()
             return
         cpu.regs[A0] = reply.retval & M64
         self._requeue(th)

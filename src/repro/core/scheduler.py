@@ -11,39 +11,120 @@ Two policies:
 
 Worker threads go to slave nodes; the master runs the main thread (Fig. 2),
 unless ``schedule_on_master`` or there are no slaves.
+
+With ``DQEMUConfig.health_aware_placement`` the placer also consults the
+cluster health view (:class:`repro.net.health.ClusterHealthView`): ``down``,
+failed and draining candidates are skipped outright and ``suspect`` ones are
+deprioritized (used only when every candidate is degraded).  The choice is
+deterministic — the pool is filtered, never shuffled, and the same
+round-robin cursor walks whatever pool is left — and every skip is recorded
+with its reason so the breakdown tables can attribute placement decisions.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections import Counter
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.health import ClusterHealthView
 
 __all__ = ["ThreadPlacer"]
 
 
 class ThreadPlacer:
-    def __init__(self, policy: str, candidates: Sequence[int]):
+    def __init__(
+        self,
+        policy: str,
+        candidates: Sequence[int],
+        *,
+        health: Optional["ClusterHealthView"] = None,
+        fallback: Optional[int] = None,
+    ):
         if not candidates:
             raise ConfigError("scheduler needs at least one candidate node")
         if policy not in ("round_robin", "hint"):
             raise ConfigError(f"unknown scheduling policy {policy!r}")
         self.policy = policy
         self.candidates = list(candidates)
+        self.health = health
+        self.fallback = fallback
         self._rr = 0
         self.placements: list[tuple[Optional[int], int]] = []  # (group, node)
+        #: (node, reason) -> times that node was skipped for that reason
+        #: ("down" / "draining" / "suspect") plus ("fallback" entries when
+        #: every candidate was unusable and the fallback node absorbed the
+        #: placement).
+        self.skips: Counter = Counter()
+
+    # -- health filtering --------------------------------------------------
+
+    def _usable_pool(self) -> list[int]:
+        """Candidates eligible for the next placement, health permitting.
+
+        Healthy (``up``, not failed, not draining) candidates win; if none
+        are left, ``suspect`` ones are pressed back into service rather
+        than refusing to place at all.  Skips are recorded per (node,
+        reason) each time a placement actually bypasses a candidate.
+        """
+        if self.health is None:
+            return self.candidates
+        healthy: list[int] = []
+        suspect: list[int] = []
+        skipped: list[tuple[int, str]] = []
+        for n in self.candidates:
+            reason = self.health.unusable_reason(n)
+            if reason is not None:
+                skipped.append((n, reason))
+            elif self.health.is_suspect(n):
+                suspect.append(n)
+            else:
+                healthy.append(n)
+        if healthy:
+            for n in suspect:
+                skipped.append((n, "suspect"))
+            pool = healthy
+        else:
+            pool = suspect
+        for key in skipped:
+            self.skips[key] += 1
+        return pool
+
+    # -- placement ---------------------------------------------------------
 
     def place(self, hint_group: Optional[int] = None) -> int:
-        if self.policy == "hint" and hint_group is not None:
-            node = self.candidates[hint_group % len(self.candidates)]
+        pool = self._usable_pool()
+        if not pool:
+            # Every candidate is down or draining: the master (fallback)
+            # absorbs the thread rather than placing it on a dead node.
+            if self.fallback is None:
+                raise ConfigError("no healthy candidate nodes left to place on")
+            node = self.fallback
+            self.skips[(node, "fallback")] += 1
+        elif self.policy == "hint" and hint_group is not None:
+            node = pool[hint_group % len(pool)]
         else:
-            node = self.candidates[self._rr % len(self.candidates)]
+            node = pool[self._rr % len(pool)]
             self._rr += 1
         self.placements.append((hint_group, node))
         return node
 
+    # -- reporting ---------------------------------------------------------
+
     def distribution(self) -> dict[int, int]:
+        # Placements can land outside `candidates` (master fallback,
+        # post-failure re-placement), so count whatever was observed
+        # instead of assuming the candidate set covers everything.
         out: dict[int, int] = {n: 0 for n in self.candidates}
         for _, node in self.placements:
-            out[node] += 1
+            out[node] = out.get(node, 0) + 1
         return out
+
+    def skip_counts(self) -> dict[str, int]:
+        """Aggregate skip reasons as ``"n<node>:<reason>" -> count``."""
+        return {
+            f"n{node}:{reason}": count
+            for (node, reason), count in sorted(self.skips.items())
+        }

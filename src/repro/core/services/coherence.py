@@ -8,7 +8,7 @@ migration) used by the syscall service's guest-memory accessor.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.core.config import DQEMUConfig
 from repro.core.stats import RunStats
@@ -18,6 +18,7 @@ from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
 from repro.net.endpoint import Endpoint
 from repro.net.messages import Invalidate, PageData, WriteBack
+from repro.net.rpc import RpcTimeout
 from repro.sim.engine import Simulator
 from repro.sim.sync import SimLock
 
@@ -25,8 +26,19 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.services.coordinator import CrossShardCoordinator
     from repro.core.services.forwarding import ForwardingService
     from repro.core.services.splitting import SplittingService
+    from repro.net.health import ClusterHealthView
 
 __all__ = ["CoherenceService", "CoherentGuestMemory"]
+
+
+def _absorb(_event) -> None:
+    """No-op event callback: parks a possible failure until it is awaited.
+
+    The engine raises a failed event's exception out of ``step()`` when the
+    event has no callbacks (a failure nobody could see); the tolerant gather
+    below issues several requests before awaiting any, so each needs a
+    callback from the moment it is issued.  Awaiting later still delivers
+    the failure to the awaiting process (late subscription re-fires)."""
 
 
 class CoherentGuestMemory:
@@ -93,6 +105,7 @@ class CoherenceService:
         trace,
         run_stats: RunStats,
         home: PageStore,
+        view: Optional["ClusterHealthView"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -100,11 +113,16 @@ class CoherenceService:
         self.trace = trace
         self.run_stats = run_stats
         self.home = home
+        # Cluster failure view: when set, transactions touching a
+        # confirmed-dead peer degrade (skip it, count it) instead of
+        # aborting the run.  None keeps every code path and event schedule
+        # bit-identical to the failure-blind protocol.
+        self.view = view
         self.directory = Directory()
         # Loss recovery for the requests this service issues (invalidates,
         # write-backs).  Resolved once; stats binding only when armed, so
         # default runs create no extra RunStats entries.
-        self.retry = config.retry_policy()
+        self.retry = config.nested_retry_policy()
         self.retry_stats = run_stats.service(self.name) if self.retry else None
         self._page_locks: dict[int, SimLock] = {}
         # Bound by the composition root (MasterRuntime.__init__).
@@ -114,6 +132,61 @@ class CoherenceService:
     def bind(self, splitting: "SplittingService", forwarding: "ForwardingService") -> None:
         self.splitting = splitting
         self.forwarding = forwarding
+
+    # -- failure-domain degradation (docs/PROTOCOL.md "Failure domains") -------
+
+    def evict_node(self, node: int) -> tuple[list[int], list[int]]:
+        """Drop a dead node from this shard's directory (re-homing)."""
+        return self.directory.evict_node(node)
+
+    def _dead(self, node: int) -> bool:
+        return self.view is not None and self.view.is_failed(node)
+
+    def _ask(self, peer: int, msg):
+        """Request/await tolerating the peer dying mid-call.
+
+        Returns the ack, or ``None`` when the call timed out against a peer
+        the failure detector has confirmed dead (the caller proceeds with
+        the home copy).  Timeouts against live peers still raise — a slow
+        peer is not a dead one."""
+        try:
+            ack = yield self.endpoint.request(
+                peer, msg,
+                timeout_ns=self.config.rpc_timeout_ns,
+                retry=self.retry, stats=self.retry_stats,
+            )
+        except RpcTimeout:
+            if not self._dead(peer):
+                raise
+            self.run_stats.protocol.dead_peer_skips += 1
+            return None
+        return ack
+
+    def _gather_tolerant(self, targets: list[int], make_msg):
+        """Issue one request per target, await all, skip confirmed-dead peers.
+
+        All requests go out before any is awaited (same concurrency as the
+        ``all_of`` fast path); each gets an ``_absorb`` callback immediately
+        so a failure arriving while an earlier request is being awaited
+        cannot escape the simulator loop unobserved."""
+        pairs = []
+        for n in targets:
+            ev = self.endpoint.request(
+                n, make_msg(n),
+                timeout_ns=self.config.rpc_timeout_ns,
+                retry=self.retry, stats=self.retry_stats,
+            )
+            ev.add_callback(_absorb)
+            pairs.append((n, ev))
+        acks = []
+        for n, ev in pairs:
+            try:
+                acks.append((yield ev))
+            except RpcTimeout:
+                if not self._dead(n):
+                    raise
+                self.run_stats.protocol.dead_peer_skips += 1
+        return acks
 
     # -- per-page serialization ---------------------------------------------
 
@@ -153,13 +226,16 @@ class CoherenceService:
         yield lock.acquire()
         try:
             owner = self.directory.owner(page)
+            if owner is not None and self._dead(owner):
+                # The Modified copy died with its node; the stale home copy
+                # is all that is left (counted as a lost page at eviction).
+                self.run_stats.protocol.dead_peer_skips += 1
+                self.directory.downgrade_owner(page)
+                owner = None
             if owner is not None:
-                ack = yield self.endpoint.request(
-                    owner, WriteBack(page=page),
-                    timeout_ns=self.config.rpc_timeout_ns,
-                    retry=self.retry, stats=self.retry_stats,
-                )
-                self.home_install(page, ack.data)
+                ack = yield from self._ask(owner, WriteBack(page=page))
+                if ack is not None:
+                    self.home_install(page, ack.data)
                 self.directory.downgrade_owner(page)
                 self.run_stats.protocol.downgrades += 1
         finally:
@@ -179,17 +255,28 @@ class CoherenceService:
         Caller holds the page's lock."""
         owner = self.directory.owner(page)
         holders = self.directory.holders(page)
+        if self.view is not None:
+            dead = [n for n in holders if self.view.is_failed(n)]
+            if dead:
+                self.run_stats.protocol.dead_peer_skips += len(dead)
+                holders = tuple(n for n in holders if n not in dead)
         if holders:
-            acks = yield self.sim.all_of(
-                [
-                    self.endpoint.request(
-                        n, Invalidate(page=page, want_data=(n == owner)),
-                        timeout_ns=self.config.rpc_timeout_ns,
-                        retry=self.retry, stats=self.retry_stats,
-                    )
-                    for n in holders
-                ]
-            )
+            if self.view is None:
+                acks = yield self.sim.all_of(
+                    [
+                        self.endpoint.request(
+                            n, Invalidate(page=page, want_data=(n == owner)),
+                            timeout_ns=self.config.rpc_timeout_ns,
+                            retry=self.retry, stats=self.retry_stats,
+                        )
+                        for n in holders
+                    ]
+                )
+            else:
+                acks = yield from self._gather_tolerant(
+                    list(holders),
+                    lambda n: Invalidate(page=page, want_data=(n == owner)),
+                )
             for ack in acks:
                 if ack.data is not None:
                     self.home_install(page, ack.data)
@@ -204,6 +291,12 @@ class CoherenceService:
         cfg = self.config
         page, node, write = msg.page, msg.src, msg.write
         proto = self.run_stats.protocol
+        if self._dead(node):
+            # A dead node's request was still in the mailbox when it died.
+            # Serving it would re-admit the node to the directory after
+            # eviction; the reply is unroutable anyway.
+            proto.dead_peer_skips += 1
+            return
         lock = self.lock(page)
         yield lock.acquire()
         try:
@@ -247,37 +340,52 @@ class CoherenceService:
                     return
 
             plan = self.directory.plan(node, page, write)
-            if plan.fetch_from is not None:
+            fetch_from = plan.fetch_from
+            if fetch_from is not None and self._dead(fetch_from):
+                # The current copy died with its owner; fall back to the
+                # stale home copy (the loss is accounted at eviction time).
+                proto.dead_peer_skips += 1
+                self.directory.drop_node(fetch_from, page)
+                fetch_from = None
+            if fetch_from is not None:
                 if write:
-                    ack = yield self.endpoint.request(
-                        plan.fetch_from, Invalidate(page=page, want_data=True),
-                        timeout_ns=cfg.rpc_timeout_ns,
-                        retry=self.retry, stats=self.retry_stats,
+                    ack = yield from self._ask(
+                        fetch_from, Invalidate(page=page, want_data=True)
                     )
                     proto.invalidations += 1
                 else:
-                    ack = yield self.endpoint.request(
-                        plan.fetch_from, WriteBack(page=page),
-                        timeout_ns=cfg.rpc_timeout_ns,
-                        retry=self.retry, stats=self.retry_stats,
-                    )
+                    ack = yield from self._ask(fetch_from, WriteBack(page=page))
                     proto.downgrades += 1
-                if ack.data is not None:
+                if ack is not None and ack.data is not None:
                     self.home_install(page, ack.data)
             others = [n for n in plan.invalidate if n != plan.fetch_from]
+            if self.view is not None:
+                live = [n for n in others if not self.view.is_failed(n)]
+                proto.dead_peer_skips += len(others) - len(live)
+                others = live
             if others:
-                yield self.sim.all_of(
-                    [
-                        self.endpoint.request(
-                            n, Invalidate(page=page, want_data=False),
-                            timeout_ns=cfg.rpc_timeout_ns,
-                            retry=self.retry, stats=self.retry_stats,
-                        )
-                        for n in others
-                    ]
-                )
+                if self.view is None:
+                    yield self.sim.all_of(
+                        [
+                            self.endpoint.request(
+                                n, Invalidate(page=page, want_data=False),
+                                timeout_ns=cfg.rpc_timeout_ns,
+                                retry=self.retry, stats=self.retry_stats,
+                            )
+                            for n in others
+                        ]
+                    )
+                else:
+                    yield from self._gather_tolerant(
+                        others, lambda n: Invalidate(page=page, want_data=False)
+                    )
                 proto.invalidations += len(others)
 
+            if self._dead(node):
+                # The requester died while we were serving it: do not commit
+                # a grant to a dead node (the eviction already scrubbed it).
+                proto.dead_peer_skips += 1
+                return
             data = self.home_snapshot(page)
             self.directory.commit(node, page, write)
             self.trace.emit(

@@ -40,6 +40,7 @@ from repro.core.config import DQEMUConfig
 from repro.mem.sharding import shard_of
 from repro.net.endpoint import Endpoint
 from repro.net.messages import SplitTableUpdate
+from repro.net.rpc import RpcTimeout
 from repro.sim.engine import Simulator
 from repro.sim.sync import SimLock
 
@@ -47,8 +48,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.services.coherence import CoherenceService
     from repro.core.services.splitting import SplittingService
     from repro.mem.splitmap import SplitEntry
+    from repro.net.health import ClusterHealthView
 
 __all__ = ["CrossShardCoordinator"]
+
+
+def _absorb(_event) -> None:
+    """No-op callback: keeps an unawaited failed request from killing the sim
+    (the engine raises a failed event's error if nothing observed it)."""
 
 
 class CrossShardCoordinator:
@@ -60,11 +67,14 @@ class CrossShardCoordinator:
         config: DQEMUConfig,
         endpoint: Endpoint,
         node_ids: list[int],
+        view: Optional["ClusterHealthView"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.endpoint = endpoint
         self.node_ids = list(node_ids)
+        # Cluster failure view (None = failure-blind, bit-identical paths).
+        self.view = view
         self.nshards = config.master_shards
         # Bound by the composition root once the shard pools exist.
         self.coherences: list["CoherenceService"] = []
@@ -146,14 +156,33 @@ class CrossShardCoordinator:
             self._broadcast_lock.release()
 
     def _send_update(self, entries: tuple["SplitEntry", ...], retry=None, stats=None):
-        acks = yield self.sim.all_of(
-            [
-                self.endpoint.request(
-                    nid, SplitTableUpdate(entries=entries),
-                    timeout_ns=self.config.rpc_timeout_ns,
-                    retry=retry, stats=stats,
-                )
-                for nid in self.node_ids
-            ]
+        view = self.view
+        targets = (
+            self.node_ids if view is None
+            else [n for n in self.node_ids if not view.is_failed(n)]
         )
+        reqs = [
+            self.endpoint.request(
+                nid, SplitTableUpdate(entries=entries),
+                timeout_ns=self.config.rpc_timeout_ns,
+                retry=retry, stats=stats,
+            )
+            for nid in targets
+        ]
+        if view is None:
+            acks = yield self.sim.all_of(reqs)
+            return acks
+        # Failure-tolerant gather: a node that dies with the broadcast in
+        # flight must not abort the split/merge — its table copy dies with
+        # it.  Requests are all issued above; absorbing each event keeps a
+        # late timeout from raising out of the engine unobserved.
+        for ev in reqs:
+            ev.add_callback(_absorb)
+        acks = []
+        for nid, ev in zip(targets, reqs):
+            try:
+                acks.append((yield ev))
+            except RpcTimeout:
+                if not view.is_failed(nid):
+                    raise
         return acks

@@ -1,0 +1,246 @@
+"""Master failure-domain service (docs/PROTOCOL.md "Failure domains").
+
+Owns the cluster's reaction to a node leaving — by force (the health
+tracker's detector confirms a crash) or by order (a scheduled drain):
+
+* **Crash recovery** (``node_failed``, wired as a ``HealthTracker.on_down``
+  callback): latch the node as failed in the :class:`ClusterHealthView`,
+  evict its directory footprint (Shared copies re-homed, Modified pages
+  written off), then re-home its threads.  A thread parked in ``futex_wait``
+  left its CPU context with the master (the syscall service attaches it to
+  the waiter record when the failure domain is armed), so it is *evacuable*:
+  re-spawned on a healthy node as a spurious wake.  A thread that was
+  running has no recoverable context — it is reaped through the kernel's
+  exit path so joiners unblock, and reported lost with per-thread
+  attribution instead of hanging the run.
+* **Cooperative drain** (``start_drain``): order the node to stop running
+  guest threads; it hands each one back via ``EvacuateThread`` (handled
+  here: re-placed on a usable node) and announces ``DrainComplete`` when
+  empty.  Nothing is lost — a drain is the zero-casualty rehearsal of the
+  crash path.
+
+Registered on shard 0's dispatcher only when armed
+(``DQEMUConfig.evacuation_enabled`` or a drain schedule), so default runs
+create no stats row and stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.core.config import DQEMUConfig
+from repro.core.services.base import attribute_timeouts
+from repro.core.stats import FailureStats, NodeFailure, RunStats
+from repro.kernel.syscalls import SystemState
+from repro.kernel.threads import ThreadState
+from repro.net.endpoint import Endpoint
+from repro.net.messages import Ack, SpawnThread, StartDrain
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.services.coherence import CoherenceService
+    from repro.core.services.futexes import FutexService
+    from repro.kernel.syscalls import SyscallExecutor
+    from repro.net.health import ClusterHealthView
+
+__all__ = ["FailureDomainService"]
+
+A0 = 10
+
+
+class FailureDomainService:
+    name = "failure"
+    handled_kinds = frozenset({"evacuate_thread", "drain_complete"})
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DQEMUConfig,
+        endpoint: Endpoint,
+        trace,
+        run_stats: RunStats,
+        state: SystemState,
+        view: "ClusterHealthView",
+        candidates: list[int],
+        node_id: int,
+        spawn_guarded: Callable,
+        finished: Callable[[], bool],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.endpoint = endpoint
+        self.trace = trace
+        self.run_stats = run_stats
+        self.state = state
+        self.view = view
+        self.candidates = list(candidates)
+        self.node_id = node_id
+        self.spawn_guarded = spawn_guarded
+        self.finished = finished
+        self.failures = FailureStats()
+        self.retry = config.nested_retry_policy()
+        self.retry_stats = run_stats.service(self.name) if self.retry else None
+        self._evac_rr = 0  # round-robin cursor over evacuation targets
+        # Bound by the composition root once the shard pools exist.
+        self.coherences: List["CoherenceService"] = []
+        self.executor: Optional["SyscallExecutor"] = None
+        self.futex_service: Optional["FutexService"] = None
+
+    def bind(
+        self,
+        coherences: List["CoherenceService"],
+        executor: "SyscallExecutor",
+        futexes: "FutexService",
+    ) -> None:
+        self.coherences = list(coherences)
+        self.executor = executor
+        self.futex_service = futexes
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def node_failed(self, node: int) -> None:
+        """Detector callback: ``node`` is confirmed dead (budget exhausted).
+
+        Runs synchronously inside the RPC layer's timeout handling, *before*
+        the triggering call's :class:`RpcTimeout` is raised — so by the time
+        a tolerant service catches that timeout, the view is latched and the
+        directory already evicted.  Thread recovery needs the clock (guest
+        memory writes, spawn round trips) and runs as a spawned process.
+        """
+        if node == self.node_id or node in self.failures.nodes or self.finished():
+            return
+        self.view.mark_failed(node)
+        # Calls still waiting out retry budgets against the corpse cannot
+        # succeed; failing them now un-blocks their handlers before the
+        # handlers' own clients time out in cascade.
+        self.endpoint.rpc.abort_peer(node)
+        rec = NodeFailure(node=node, kind="crash", detected_ns=self.sim.now)
+        self.failures.nodes[node] = rec
+        stats = self.run_stats.service(self.name)
+        stats.requests += 1
+        for coherence in self.coherences:
+            rehomed, lost = coherence.evict_node(node)
+            rec.rehomed_pages += len(rehomed)
+            rec.lost_pages += len(lost)
+        stats.rehomed_pages += rec.rehomed_pages
+        stats.lost_pages += rec.lost_pages
+        self.trace.emit(
+            "node", node,
+            f"declared dead: {rec.rehomed_pages} pages re-homed, "
+            f"{rec.lost_pages} lost",
+        )
+        self.spawn_guarded(self._recover(node, rec), f"recover-n{node}@master")
+
+    def _recover(self, node: int, rec: NodeFailure):
+        """Re-home every thread the dead node was running or parking."""
+        t0 = self.sim.now
+        stats = self.run_stats.service(self.name)
+        for trec in list(self.state.threads.on_node(node)):
+            tid = trec.tid
+            waiter = self.state.futexes.find(tid)
+            if waiter is not None and waiter.context is not None:
+                # Parked in futex_wait with its context on the master:
+                # evacuate as a spurious wake (retval 0) — the guest's futex
+                # loop re-checks the word and goes back to sleep if needed.
+                self.state.futexes.remove(tid)
+                target = self._pick_target(exclude=node)
+                self.state.threads.move(tid, target)
+                self.state.threads.set_state(tid, ThreadState.RUNNING)
+                context = dict(waiter.context)
+                regs = list(context["regs"])
+                regs[A0] = 0
+                context["regs"] = regs
+                self.trace.emit(
+                    "thread", target, f"evacuated from dead n{node}", tid=tid
+                )
+                with attribute_timeouts(self.name):
+                    yield self.endpoint.request(
+                        target, SpawnThread(tid=tid, context=context),
+                        timeout_ns=self.config.rpc_timeout_ns,
+                        retry=self.retry, stats=self.retry_stats,
+                    )
+                rec.evacuated.append((tid, target))
+                stats.evacuations += 1
+            else:
+                # Context died with the node.  Run the kernel exit path
+                # (zero clear_child_tid, wake joiners) so threads joining on
+                # it unblock with the loss reported instead of hanging.
+                if waiter is not None:
+                    self.state.futexes.remove(tid)
+                result = yield from self.executor.reap_thread(tid, 137)
+                self.futex_service.wake(result.woken)
+                rec.lost.append((tid, "context lost in crash"))
+                stats.lost_threads += 1
+                self.trace.emit(
+                    "thread", node, "lost in crash (reaped)", tid=tid
+                )
+        rec.recovered_ns = self.sim.now
+        stats.busy_ns += self.sim.now - t0
+
+    def _pick_target(self, exclude: int = -1) -> int:
+        pool = [
+            n for n in self.candidates
+            if n != exclude and self.view.usable(n)
+        ]
+        if not pool:
+            return self.node_id  # last resort: everything runs on the master
+        target = pool[self._evac_rr % len(pool)]
+        self._evac_rr += 1
+        return target
+
+    # -- cooperative drain ------------------------------------------------------
+
+    def start_drain(self, node: int) -> None:
+        """Order ``node`` to evacuate itself (FaultPlan.drain schedules)."""
+        if node in self.failures.nodes or self.finished():
+            return
+        self.view.mark_draining(node)
+        rec = NodeFailure(node=node, kind="drain", detected_ns=self.sim.now)
+        self.failures.nodes[node] = rec
+        self.run_stats.service(self.name).requests += 1
+        self.trace.emit("node", node, "drain ordered")
+        self.spawn_guarded(self._order_drain(node), f"drain-n{node}@master")
+
+    def _order_drain(self, node: int):
+        with attribute_timeouts(self.name):
+            yield self.endpoint.request(
+                node, StartDrain(),
+                timeout_ns=self.config.rpc_timeout_ns,
+                retry=self.retry, stats=self.retry_stats,
+            )
+
+    # -- inbound frames ---------------------------------------------------------
+
+    def handle(self, msg):
+        yield from getattr(self, "_on_" + msg.kind)(msg)
+
+    def _on_evacuate_thread(self, msg):
+        target = self._pick_target(exclude=msg.src)
+        self.state.threads.move(msg.tid, target)
+        rec = self.failures.nodes.get(msg.src)
+        if rec is not None:
+            rec.evacuated.append((msg.tid, target))
+        self.run_stats.service(self.name).evacuations += 1
+        self.trace.emit(
+            "thread", target, f"evacuated from n{msg.src}", tid=msg.tid
+        )
+        with attribute_timeouts(self.name):
+            yield self.endpoint.request(
+                target, SpawnThread(tid=msg.tid, context=msg.context),
+                timeout_ns=self.config.rpc_timeout_ns,
+                retry=self.retry, stats=self.retry_stats,
+            )
+        self.endpoint.reply(msg, Ack())
+
+    def _on_drain_complete(self, msg):
+        rec = self.failures.nodes.get(msg.src)
+        if rec is not None and rec.recovered_ns is None:
+            rec.recovered_ns = self.sim.now
+        self.trace.emit("node", msg.src, "drain complete")
+        # The node sends this as an acked request exactly when timeouts are
+        # armed (mirroring the futex-wake ack gate); replying to a
+        # fire-and-forget frame would be a protocol error.
+        if self.config.rpc_timeout_ns is not None:
+            self.endpoint.reply(msg, Ack())
+        return
+        yield  # pragma: no cover - generator protocol

@@ -107,10 +107,12 @@ class NodeSplitTableService(_NodeService):
 
 
 class NodeControlService(_NodeService):
-    """Thread control: remote spawns, futex wakeups, and shutdown."""
+    """Thread control: remote spawns, futex wakeups, drain, and shutdown."""
 
     name = "node.control"
-    handled_kinds = frozenset({"spawn_thread", "futex_wake", "shutdown"})
+    handled_kinds = frozenset(
+        {"spawn_thread", "futex_wake", "start_drain", "shutdown"}
+    )
 
     def _on_spawn_thread(self, msg):
         cpu = CPUState.from_snapshot(msg.context)
@@ -127,6 +129,18 @@ class NodeControlService(_NodeService):
         # wire traffic bit-identical.
         if self.node.config.rpc_timeout_ns is not None:
             self.endpoint.reply(msg, Ack())
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _on_start_drain(self, msg):
+        # Cooperative drain (docs/PROTOCOL.md "Failure domains"): from now
+        # on every thread reaching a scheduling point is evacuated back to
+        # the master instead of being run or requeued.  Coherence service
+        # stays up — the node's pages migrate away lazily.
+        node = self.node
+        node.draining = True
+        self.endpoint.reply(msg, Ack())
+        node._check_drain_complete()
         return
         yield  # pragma: no cover - generator protocol
 

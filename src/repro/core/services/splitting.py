@@ -65,7 +65,7 @@ class SplittingService:
         self.shard = shard
         # Loss recovery for the split-table broadcasts this service triggers
         # (issued through the coordinator, attributed here).
-        self.retry = config.retry_policy()
+        self.retry = config.nested_retry_policy()
         self.retry_stats = run_stats.service(self.name) if self.retry else None
         self.split = SplitMap()  # this shard's slice of the canonical table
         self.detector = FalseSharingDetector(

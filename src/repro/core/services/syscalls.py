@@ -15,7 +15,7 @@ one page at a time.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.config import DQEMUConfig
 from repro.core.migration import build_child_context
@@ -31,9 +31,14 @@ from repro.kernel.sysnums import (
     ERRNO,
     sys_name,
 )
+from repro.kernel.threads import ThreadState
 from repro.net.endpoint import Endpoint
 from repro.net.messages import SpawnThread, SyscallReply
+from repro.net.rpc import RpcTimeout
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.health import ClusterHealthView
 
 __all__ = ["SyscallService"]
 
@@ -56,6 +61,7 @@ class SyscallService:
         guest_mem: CoherentGuestMemory,
         futexes: FutexService,
         finish: Callable[[int], None],
+        view: Optional["ClusterHealthView"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -69,15 +75,23 @@ class SyscallService:
         self.guest_mem = guest_mem
         self.futexes = futexes
         self.finish = finish
+        # Cluster failure view (None = failure-blind, bit-identical paths).
+        self.view = view
         self.executor = SyscallExecutor(state, guest_mem)
         # Loss recovery for the spawn/migrate requests this service issues.
-        self.retry = config.retry_policy()
+        self.retry = config.nested_retry_policy()
         self.retry_stats = run_stats.service(self.name) if self.retry else None
 
     # -- delegated syscalls (§4.3) ---------------------------------------------------
 
     def handle(self, msg):
         cfg = self.config
+        if self.view is not None and self.view.is_failed(msg.src):
+            # The caller's node died with this request still in the mailbox;
+            # executing it would mutate kernel state for a dead thread and
+            # the reply is unroutable.
+            self.run_stats.protocol.dead_peer_skips += 1
+            return
         yield self.sim.timeout(cfg.syscall_service_ns)
         self.trace.emit("syscall", msg.src, sys_name(msg.sysno), tid=msg.tid)
         result: SyscallResult = yield from self.executor.execute(
@@ -94,6 +108,20 @@ class SyscallService:
         self.futexes.wake(result.woken)
 
         if result.action == "blocked":
+            if self.view is not None:
+                rec = self.state.threads.get(msg.tid)
+                if self.view.is_failed(msg.src) and rec.exit_status is not None:
+                    # The node died mid-call and the recovery pass already
+                    # reaped this thread as lost: un-park it and restore the
+                    # exited record instead of resurrecting a dead waiter.
+                    self.state.futexes.remove(msg.tid)
+                    rec.state = ThreadState.EXITED
+                    self.run_stats.protocol.dead_peer_skips += 1
+                    return
+                # A parked thread's context lives in the master's futex
+                # table, which is what makes it evacuable after its node
+                # dies (docs/PROTOCOL.md "Failure domains").
+                self.state.futexes.attach_context(msg.tid, msg.context)
             self.futexes.park(msg)
         elif result.action == "exit":
             self.endpoint.reply(msg, SyscallReply(exited=True))
@@ -123,12 +151,43 @@ class SyscallService:
             "thread", node_id,
             f"clone: placed (hint={hint})", tid=rec.tid,
         )
-        yield self.endpoint.request(
-            node_id, SpawnThread(tid=rec.tid, context=child),
-            timeout_ns=self.config.rpc_timeout_ns,
-            retry=self.retry, stats=self.retry_stats,
-        )
+        yield from self._spawn_with_failover(node_id, rec.tid, child)
         self.endpoint.reply(msg, SyscallReply(retval=rec.tid))
+
+    def _spawn_with_failover(self, node_id: int, tid: int, context):
+        """Ship a new thread's context, re-placing it if the target dies.
+
+        Without a failure view this is exactly one request (timeouts, if
+        armed, escalate as before).  With one, a spawn that times out
+        against a peer the detector confirmed dead is retargeted onto the
+        next usable candidate — the child was already announced to its
+        parent, so failing the clone retroactively is not an option.
+        """
+        attempts = len(self.node_ids) + 1
+        for _ in range(attempts):
+            try:
+                yield self.endpoint.request(
+                    node_id, SpawnThread(tid=tid, context=context),
+                    timeout_ns=self.config.rpc_timeout_ns,
+                    retry=self.retry, stats=self.retry_stats,
+                )
+                return
+            except RpcTimeout:
+                if self.view is None or not self.view.is_failed(node_id):
+                    raise
+                pool = [
+                    n for n in self.placer.candidates
+                    if n != node_id and self.view.usable(n)
+                ]
+                retarget = pool[tid % len(pool)] if pool else self.node_id
+                self.trace.emit(
+                    "thread", retarget,
+                    f"spawn failover: n{node_id} died mid-clone", tid=tid,
+                )
+                self.run_stats.protocol.spawn_failovers += 1
+                self.state.threads.move(tid, retarget)
+                node_id = retarget
+        raise RuntimeError(f"spawn of tid {tid} failed over more than {attempts} times")
 
     def _handle_migrate(self, msg, result: SyscallResult):
         """Live thread migration (sched_setaffinity): re-place the calling
@@ -138,7 +197,10 @@ class SyscallService:
         data follows through the coherence protocol, as at creation (§4.1).
         """
         target = result.migrate_to
-        if target not in self.node_ids:
+        unusable = self.view is not None and not self.view.usable(target)
+        if target not in self.node_ids or unusable:
+            # Unknown node, or a known-dead/draining one: migrating there
+            # would strand the thread, so the guest gets EINVAL either way.
             self.endpoint.reply(
                 msg, SyscallReply(retval=(-ERRNO.EINVAL) & 0xFFFF_FFFF_FFFF_FFFF)
             )
@@ -155,9 +217,5 @@ class SyscallService:
             "thread", target, f"migrated from n{msg.src}", tid=msg.tid
         )
         self.run_stats.protocol.thread_migrations += 1
-        yield self.endpoint.request(
-            target, SpawnThread(tid=msg.tid, context=context),
-            timeout_ns=self.config.rpc_timeout_ns,
-            retry=self.retry, stats=self.retry_stats,
-        )
+        yield from self._spawn_with_failover(target, msg.tid, context)
         self.endpoint.reply(msg, SyscallReply(migrated=True))

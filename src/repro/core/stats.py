@@ -11,7 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["ThreadStats", "ProtocolStats", "ShardLoadStats", "ServiceStats", "RunStats"]
+__all__ = [
+    "ThreadStats",
+    "ProtocolStats",
+    "ShardLoadStats",
+    "ServiceStats",
+    "NodeFailure",
+    "FailureStats",
+    "RunStats",
+]
 
 
 @dataclass
@@ -63,6 +71,14 @@ class ProtocolStats:
     #: run.  They are dropped on purpose (the guest is gone), but invisibly
     #: dropping them made post-exit races undiagnosable.
     post_finish_drops: int = 0
+    #: Degradation counters (docs/PROTOCOL.md "Failure domains"), all zero
+    #: unless a node failed mid-run: RPCs to a confirmed-dead peer that a
+    #: tolerant service skipped instead of aborting on, futex wakes whose
+    #: sleeper died with its node, and thread spawns re-placed after their
+    #: original target failed mid-clone.
+    dead_peer_skips: int = 0
+    lost_wakes: int = 0
+    spawn_failovers: int = 0
 
 
 @dataclass
@@ -106,6 +122,12 @@ class ServiceStats:
     ``recovery_wait_ns`` the total first-send-to-reply span of those
     recoveries (mean recovery latency = recovery_wait_ns / recoveries).
     All zero unless ``DQEMUConfig.rpc_max_retries`` is armed.
+
+    The failure-domain counters (docs/PROTOCOL.md "Failure domains") are
+    filled only when a node crashed or drained mid-run: threads this
+    service evacuated to healthy peers, threads it had to declare lost
+    (context unrecoverable after a hard crash), and directory pages it
+    re-homed / wrote off when their holder died.
     """
 
     name: str = ""
@@ -116,12 +138,78 @@ class ServiceStats:
     retransmits: int = 0
     recoveries: int = 0
     recovery_wait_ns: int = 0
+    evacuations: int = 0
+    lost_threads: int = 0
+    rehomed_pages: int = 0
+    lost_pages: int = 0
     shards: dict[int, ShardLoadStats] = field(default_factory=dict)
 
     def shard(self, k: int) -> ShardLoadStats:
         if k not in self.shards:
             self.shards[k] = ShardLoadStats(shard=k)
         return self.shards[k]
+
+
+@dataclass
+class NodeFailure:
+    """One failed (crashed or drained) node's recovery record."""
+
+    node: int
+    kind: str  # "crash" | "drain"
+    detected_ns: int
+    recovered_ns: Optional[int] = None
+    #: (tid, target node) for each live thread re-homed to a healthy peer.
+    evacuated: list[tuple[int, int]] = field(default_factory=list)
+    #: (tid, reason) for each thread whose context died with the node.
+    lost: list[tuple[int, str]] = field(default_factory=list)
+    rehomed_pages: int = 0  # Shared copies the directory promoted elsewhere
+    lost_pages: int = 0  # Modified pages that existed only on the dead node
+
+    @property
+    def recovery_ns(self) -> Optional[int]:
+        """Detection-to-recovered latency, None while recovery is pending."""
+        if self.recovered_ns is None:
+            return None
+        return self.recovered_ns - self.detected_ns
+
+
+@dataclass
+class FailureStats:
+    """Structured failure accounting for a run (``RunResult.failures``).
+
+    One :class:`NodeFailure` per failed node, plus aggregates the
+    experiment tables read directly.  Only constructed when the failure
+    domain is armed (``DQEMUConfig.evacuation_enabled`` or a drain plan);
+    ``None`` on every other run.
+    """
+
+    nodes: dict[int, NodeFailure] = field(default_factory=dict)
+
+    @property
+    def evacuated_threads(self) -> int:
+        return sum(len(f.evacuated) for f in self.nodes.values())
+
+    @property
+    def lost_threads(self) -> int:
+        return sum(len(f.lost) for f in self.nodes.values())
+
+    @property
+    def rehomed_pages(self) -> int:
+        return sum(f.rehomed_pages for f in self.nodes.values())
+
+    @property
+    def lost_pages(self) -> int:
+        return sum(f.lost_pages for f in self.nodes.values())
+
+    def describe(self) -> str:
+        if not self.nodes:
+            return "no node failures"
+        return "; ".join(
+            f"n{node} {f.kind}: {len(f.evacuated)} evacuated, "
+            f"{len(f.lost)} lost, {f.rehomed_pages} pages re-homed, "
+            f"{f.lost_pages} pages lost"
+            for node, f in sorted(self.nodes.items())
+        )
 
 
 @dataclass

@@ -11,8 +11,8 @@ protocol.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque
+from dataclasses import dataclass, replace
+from typing import Any, Deque, Optional
 
 __all__ = ["FutexTable", "Waiter"]
 
@@ -21,6 +21,10 @@ __all__ = ["FutexTable", "Waiter"]
 class Waiter:
     tid: int
     node: int  # where the thread is parked — the wake message goes there
+    #: CPU snapshot taken when the thread parked (attached by the master's
+    #: syscall service).  A parked thread's context lives *here*, not on its
+    #: node, which is what makes it evacuable after the node dies.
+    context: Any = None
 
 
 class FutexTable:
@@ -47,6 +51,23 @@ class FutexTable:
             del self._queues[uaddr]
         self.total_wakes += len(woken)
         return woken
+
+    def attach_context(self, tid: int, context: Any) -> bool:
+        """Record a parked thread's CPU snapshot on its waiter entry."""
+        for uaddr, queue in self._queues.items():
+            for i, w in enumerate(queue):
+                if w.tid == tid:
+                    queue[i] = replace(w, context=context)
+                    return True
+        return False
+
+    def find(self, tid: int) -> Optional[Waiter]:
+        """The waiter entry for a parked thread, if it is parked."""
+        for queue in self._queues.values():
+            for w in queue:
+                if w.tid == tid:
+                    return w
+        return None
 
     def remove(self, tid: int) -> bool:
         """Drop a thread from any queue (thread killed while waiting)."""

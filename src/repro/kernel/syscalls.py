@@ -266,3 +266,15 @@ class SyscallExecutor:
                 st.threads.set_state(w.tid, ThreadState.RUNNING)
             result.woken = woken
         return result
+
+    def reap_thread(self, tid: int, status: int) -> Generator[Any, Any, SyscallResult]:
+        """Force-exit a thread whose context died with its node.
+
+        The failure domain uses this for threads lost to a hard crash: they
+        cannot run again, but running the normal exit path (mark exited,
+        zero ``clear_child_tid``, wake joiners) means threads joining on
+        them unblock with the loss *reported* instead of the run hanging.
+        By convention the status is 137 (128 + SIGKILL), as if the kernel
+        had killed the thread.
+        """
+        return (yield from self._exit_thread(tid, status))

@@ -117,6 +117,28 @@ class Directory:
             ent.sharers = {ent.owner}
             ent.owner = None
 
+    def evict_node(self, node: int) -> tuple[list[int], list[int]]:
+        """Forget every copy a dead node held (directory re-homing).
+
+        Returns ``(rehomed, lost)`` page lists: *rehomed* pages were Shared
+        on the dead node — the home copy (and any surviving sharers) remain
+        authoritative, so dropping the dead copy loses nothing.  *Lost*
+        pages were Modified on the dead node — their only current content
+        died with it, and the stale home copy is silently promoted so
+        future readers get *a* value instead of a deadlock.  The caller
+        surfaces the count; the data loss is real and reported, not hidden.
+        """
+        rehomed: list[int] = []
+        lost: list[int] = []
+        for page, ent in self._entries.items():
+            if ent.owner == node:
+                ent.owner = None
+                lost.append(page)
+            elif node in ent.sharers:
+                ent.sharers.discard(node)
+                rehomed.append(page)
+        return sorted(rehomed), sorted(lost)
+
     def invalidate_all(self, page: int) -> tuple[int, ...]:
         """Forget every copy of a page (page-splitting migration). Returns
         the nodes that held it."""

@@ -188,6 +188,13 @@ class FaultPlan:
 
     rules: tuple[FaultRule, ...] = ()
     seed: int = 0
+    #: Hard crash schedule: ``(node, at_ns)`` pairs.  The wire rules above
+    #: carry the packet-level consequences; this field tells the cluster to
+    #: halt the node's runtime at that instant (see ``FaultPlan.crash``).
+    crashes: tuple[tuple[int, int], ...] = ()
+    #: Cooperative drain schedule: ``(node, at_ns)`` pairs.  No wire rules —
+    #: the node stays reachable and evacuates its threads (``FaultPlan.drain``).
+    drains: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.rules, tuple):
@@ -195,6 +202,23 @@ class FaultPlan:
         for rule in self.rules:
             if not isinstance(rule, FaultRule):
                 raise ConfigError(f"fault plan entries must be FaultRule, got {rule!r}")
+        for name in ("crashes", "drains"):
+            sched = getattr(self, name)
+            if not isinstance(sched, tuple):
+                object.__setattr__(self, name, tuple(sched))
+                sched = getattr(self, name)
+            for entry in sched:
+                if (
+                    not isinstance(entry, tuple)
+                    or len(entry) != 2
+                    or not all(isinstance(v, int) for v in entry)
+                ):
+                    raise ConfigError(
+                        f"{name} entries must be (node, at_ns) int pairs, got {entry!r}"
+                    )
+                node, at_ns = entry
+                if node < 0 or at_ns < 0:
+                    raise ConfigError(f"{name} entry {entry!r} must be non-negative")
 
     @staticmethod
     def of(*rules: FaultRule, seed: int = 0) -> "FaultPlan":
@@ -233,8 +257,63 @@ class FaultPlan:
             rules.append(drop(dst=n, label=f"partition:n{n}:in", **common))
         return FaultPlan(rules=tuple(rules), seed=seed)
 
+    @staticmethod
+    def crash(
+        node: int,
+        at_ns: int,
+        *,
+        extra: Iterable[FaultRule] = (),
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """A permanent node crash at ``at_ns`` — the fail-stop sibling of
+        :meth:`partition`.
+
+        Unlike a partition's window, a crash never heals: every cross-node
+        frame into or out of the node is dropped from ``at_ns`` on (no
+        ``until_ns``), and the ``crashes`` schedule tells the cluster to halt
+        the node's runtime at the same instant — cores stop, its RPC channel
+        is neutered, in-flight work on the node dies with it.  Loopback is
+        left intact purely so the dying node's own teardown cannot wedge;
+        node 0 (the master) cannot crash — that is the whole run.
+        """
+        if node < 1:
+            raise ConfigError("only slave nodes (>= 1) can crash; node 0 is the run")
+        if at_ns < 0:
+            raise ConfigError("crash time must be non-negative")
+        rules = list(extra)
+        common = dict(after_ns=at_ns, loopback=False)
+        rules.append(drop(src=node, label=f"crash:n{node}:out", **common))
+        rules.append(drop(dst=node, label=f"crash:n{node}:in", **common))
+        return FaultPlan(
+            rules=tuple(rules), seed=seed, crashes=((node, at_ns),)
+        )
+
+    @staticmethod
+    def drain(
+        node: int,
+        at_ns: int,
+        *,
+        extra: Iterable[FaultRule] = (),
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """A cooperative drain: at ``at_ns`` the master stops placing work on
+        ``node`` and evacuates its live threads to healthy peers.
+
+        No wire rules — the node stays fully reachable (its pages migrate
+        away lazily through normal coherence traffic) and reports
+        ``DrainComplete`` once its last thread has been evacuated.
+        """
+        if node < 1:
+            raise ConfigError("only slave nodes (>= 1) can drain; node 0 is the run")
+        if at_ns < 0:
+            raise ConfigError("drain time must be non-negative")
+        return FaultPlan(rules=tuple(extra), seed=seed, drains=((node, at_ns),))
+
     def describe(self) -> str:
-        return "; ".join(r.label or r.describe() for r in self.rules) or "no faults"
+        parts = [r.label or r.describe() for r in self.rules]
+        parts += [f"crash:n{n}@{t}ns" for n, t in self.crashes]
+        parts += [f"drain:n{n}@{t}ns" for n, t in self.drains]
+        return "; ".join(parts) or "no faults"
 
 
 class FaultStats:

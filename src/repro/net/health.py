@@ -22,11 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.sim.engine import Simulator
 
-__all__ = ["PeerState", "PeerHealth", "HealthTracker"]
+__all__ = ["PeerState", "PeerHealth", "HealthTracker", "ClusterHealthView"]
 
 
 class PeerState(str, Enum):
@@ -64,11 +64,24 @@ class HealthTracker:
     suspect_after: int = 2
     down_after: int = 5
     peers: dict[int, PeerHealth] = field(default_factory=dict)
+    #: Called with the peer's node id each time a peer *transitions* into
+    #: DOWN (not on repeat confirmations).  The master's failure detector
+    #: subscribes here to promote peer-level DOWN into a cluster-level
+    #: NodeFailed event.  Callbacks run synchronously inside the RPC timer
+    #: expiry, *before* the failing call's exception is delivered, so by the
+    #: time a handler observes the timeout the cluster view already reflects
+    #: the failure.
+    on_down: list[Callable[[int], None]] = field(default_factory=list)
 
     def peer(self, node: int) -> PeerHealth:
         if node not in self.peers:
             self.peers[node] = PeerHealth(node=node)
         return self.peers[node]
+
+    def _went_down(self, p: PeerHealth, was: PeerState) -> None:
+        if was is not PeerState.DOWN and p.state is PeerState.DOWN:
+            for cb in list(self.on_down):
+                cb(p.node)
 
     # -- signals from the RPC layer ------------------------------------------
 
@@ -80,6 +93,7 @@ class HealthTracker:
 
     def retransmitted(self, node: int) -> None:
         p = self.peer(node)
+        was = p.state
         p.retransmits += 1
         p.consecutive_failures += 1
         p.last_failure_ns = self.sim.now
@@ -87,6 +101,7 @@ class HealthTracker:
             p.state = PeerState.DOWN
         elif p.consecutive_failures >= self.suspect_after:
             p.state = PeerState.SUSPECT
+        self._went_down(p, was)
 
     def recovered(self, node: int) -> None:
         p = self.peer(node)
@@ -95,9 +110,11 @@ class HealthTracker:
 
     def exhausted_budget(self, node: int) -> None:
         p = self.peer(node)
+        was = p.state
         p.exhausted += 1
         p.last_failure_ns = self.sim.now
         p.state = PeerState.DOWN
+        self._went_down(p, was)
 
     # -- queries ----------------------------------------------------------------
 
@@ -116,3 +133,64 @@ class HealthTracker:
             f"(fails={p.consecutive_failures}, retx={p.retransmits})"
             for node, p in sorted(self.peers.items())
         )
+
+
+@dataclass
+class ClusterHealthView:
+    """Cluster-level failure view layered over the per-peer tracker.
+
+    The :class:`HealthTracker` state is transient — an answered call heals a
+    ``down`` peer back to ``up`` — which is the right semantics for a
+    partition but the wrong one for a crash: a node declared *failed* must
+    stay failed even if a stale reply trickles in.  The view therefore keeps
+    two latched sets on top of the tracker: ``failed`` (crashed nodes the
+    failure detector gave up on) and ``draining`` (nodes being evacuated
+    cooperatively; healthy, but closed for new placements).
+
+    Shared by the :class:`~repro.core.scheduler.ThreadPlacer` and the
+    master's degradation-aware services; pure bookkeeping, no simulator
+    events.
+    """
+
+    tracker: HealthTracker
+    failed: set[int] = field(default_factory=set)
+    draining: set[int] = field(default_factory=set)
+
+    # -- state transitions (master failure detector) -------------------------
+
+    def mark_failed(self, node: int) -> None:
+        self.failed.add(node)
+        self.draining.discard(node)
+
+    def mark_draining(self, node: int) -> None:
+        if node not in self.failed:
+            self.draining.add(node)
+
+    # -- queries -------------------------------------------------------------
+
+    def is_failed(self, node: int) -> bool:
+        return node in self.failed
+
+    def is_draining(self, node: int) -> bool:
+        return node in self.draining
+
+    def is_suspect(self, node: int) -> bool:
+        return self.tracker.state_of(node) is PeerState.SUSPECT
+
+    def unusable_reason(self, node: int) -> Optional[str]:
+        """Why this node must not receive new work (None = usable)."""
+        if node in self.failed:
+            return "down"
+        if node in self.draining:
+            return "draining"
+        if self.tracker.state_of(node) is PeerState.DOWN:
+            return "down"
+        return None
+
+    def usable(self, node: int) -> bool:
+        return self.unusable_reason(node) is None
+
+    def state_of(self, node: int) -> PeerState:
+        if node in self.failed:
+            return PeerState.DOWN
+        return self.tracker.state_of(node)

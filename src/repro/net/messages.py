@@ -32,6 +32,9 @@ __all__ = [
     "FutexWake",
     "SplitTableUpdate",
     "Shutdown",
+    "StartDrain",
+    "EvacuateThread",
+    "DrainComplete",
     "HEADER_BYTES",
 ]
 
@@ -250,3 +253,34 @@ class Shutdown(Message):
     """Master → slave: guest program finished; stop service loops."""
 
     kind: ClassVar[str] = "shutdown"
+
+
+@dataclass(kw_only=True)
+class StartDrain(Message):
+    """Master → slave: stop running guest threads; evacuate them instead.
+
+    The node keeps serving coherence traffic (its pages migrate away lazily)
+    but every thread that reaches a scheduling point is shipped back to the
+    master as an :class:`EvacuateThread` for re-placement on a healthy peer.
+    """
+
+    kind: ClassVar[str] = "start_drain"
+
+
+@dataclass(kw_only=True)
+class EvacuateThread(Message):
+    """Slave → master: re-home this live thread; carries its full context."""
+
+    kind: ClassVar[str] = "evacuate_thread"
+    tid: int = 0
+    context: Any = None  # CPUState snapshot, same blob as SpawnThread
+
+    def payload_bytes(self) -> int:
+        return 1024  # registers + thread metadata
+
+
+@dataclass(kw_only=True)
+class DrainComplete(Message):
+    """Slave → master: the drained node's last guest thread is gone."""
+
+    kind: ClassVar[str] = "drain_complete"

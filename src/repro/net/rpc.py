@@ -196,6 +196,7 @@ class RpcChannel:
         #: state and zero extra wire traffic.
         self._sent_replies: OrderedDict[int, Message] = OrderedDict()
         self._reply_cache_enabled = False
+        self._halted = False
         self.dropped_replies = 0  # late replies to timed-out requests
         self.duplicate_replies = 0  # replayed replies to completed requests
         self.retransmits = 0  # cloned frames re-sent after a timeout window
@@ -226,6 +227,11 @@ class RpcChannel:
         ``retransmits`` / ``recoveries`` counts.
         """
         ev = Event(self.sim)
+        if self._halted:
+            # The owning node crashed: the call goes nowhere and never
+            # completes, which is what issuing an RPC from a dead machine
+            # looks like.  No timer is armed — dead nodes do not retransmit.
+            return ev
         self._pending[msg.req_id] = ev
         self.endpoint.transmit(dst, msg)
         if timeout_ns is not None:
@@ -301,6 +307,46 @@ class RpcChannel:
     def _health(self) -> Optional["HealthTracker"]:
         return getattr(self.endpoint.fabric, "health", None)
 
+    def abort_peer(self, node: int) -> None:
+        """Fail every pending armed call aimed at ``node``, right now.
+
+        Invoked by the failure detector once a peer is declared dead: calls
+        still waiting out their retry budgets against it cannot succeed, and
+        letting each burn its full budget stalls the handler it blocks —
+        long enough for *that* handler's clients to exhaust their own
+        budgets in turn, cascading one node's death into a cluster-wide
+        abort.  Tolerant handlers catch the early :class:`RpcTimeout`, see
+        the peer latched as failed, and degrade instead.
+        """
+        doomed = [rid for rid, call in self._calls.items() if call.dst == node]
+        for rid in doomed:
+            call = self._calls.pop(rid)
+            self._disarm(rid)
+            ev = self._pending.pop(rid, None)
+            self._remember(rid, "expired")
+            if ev is not None and not ev.triggered:
+                # Absorb first: a call nobody awaited yet must not raise out
+                # of the engine when its failure is processed (a later yield
+                # still delivers the error into the awaiting process).
+                ev.add_callback(lambda _e: None)
+                ev.fail(RpcTimeout(call.msg, call.timeout_ns, retries=call.attempt))
+
+    def halt(self) -> None:
+        """Kill the channel in place (the owning node crashed).
+
+        Cancels every armed timer and forgets all in-flight calls so a dead
+        node's retransmit machinery cannot keep firing — a crashed machine
+        does not report its peers as down, and its abandoned calls must
+        suspend forever rather than raise into the node's service loops.
+        Subsequent inbound replies are swallowed by :meth:`complete`.
+        """
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._calls.clear()
+        self._pending.clear()
+        self._halted = True
+
     # -- server side ----------------------------------------------------------
 
     def enable_reply_cache(self) -> None:
@@ -344,6 +390,8 @@ class RpcChannel:
 
     def complete(self, msg: Message) -> None:
         """Resolve the pending request that ``msg`` replies to."""
+        if self._halted:
+            return  # the node is dead; whatever arrives no longer matters
         ev = self._pending.pop(msg.in_reply_to, None)
         if ev is None:
             tomb = self._tombstones.get(msg.in_reply_to)

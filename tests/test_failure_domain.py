@@ -1,0 +1,359 @@
+"""Failure domains: health-aware placement, crash tolerance, drain.
+
+Unit coverage for the pieces docs/PROTOCOL.md "Failure domains" composes —
+:class:`ThreadPlacer` health filtering, the latched
+:class:`ClusterHealthView` over the transient :class:`HealthTracker`,
+``FaultPlan.crash``/``drain`` schedules, directory re-homing via
+``evict_node``, ``RpcChannel.abort_peer`` — plus end-to-end cluster runs:
+a mid-run crash aborts the seed configuration, completes degraded with the
+failure domain armed, and a cooperative drain completes with nothing lost.
+"""
+
+import functools
+
+import pytest
+
+from repro import Cluster, DQEMUConfig, FaultPlan, ServiceTimeout
+from repro.cli.run import build_parser
+from repro.core.scheduler import ThreadPlacer
+from repro.errors import ConfigError
+from repro.mem.directory import Directory
+from repro.net import Endpoint, Fabric
+from repro.net.faults import FaultInjector, drop
+from repro.net.health import ClusterHealthView, HealthTracker, PeerState
+from repro.net.messages import PageRequest
+from repro.net.rpc import RetryPolicy, RpcTimeout
+from repro.sim import Simulator
+from repro.workloads import blackscholes
+
+RETRY = RetryPolicy(max_retries=3, backoff_base_ns=10_000)
+
+
+def make_view(suspect_after=2, down_after=5):
+    sim = Simulator()
+    tracker = HealthTracker(sim, suspect_after=suspect_after, down_after=down_after)
+    return ClusterHealthView(tracker=tracker), tracker
+
+
+# -- health-aware placement (§5.3 + failure domains) ---------------------------
+
+
+class TestHealthAwarePlacer:
+    def test_round_robin_ignores_health_when_unarmed(self):
+        p = ThreadPlacer("round_robin", [1, 2, 3])
+        assert [p.place() for _ in range(6)] == [1, 2, 3, 1, 2, 3]
+        assert p.skip_counts() == {}
+
+    def test_failed_and_draining_candidates_are_skipped(self):
+        view, _ = make_view()
+        p = ThreadPlacer("round_robin", [1, 2, 3], health=view, fallback=0)
+        view.mark_failed(2)
+        view.mark_draining(3)
+        assert [p.place() for _ in range(3)] == [1, 1, 1]
+        skips = p.skip_counts()
+        assert skips["n2:down"] == 3 and skips["n3:draining"] == 3
+
+    def test_tracker_down_is_skipped_without_latching(self):
+        view, tracker = make_view(suspect_after=1, down_after=2)
+        p = ThreadPlacer("round_robin", [1, 2], health=view, fallback=0)
+        tracker.retransmitted(2)
+        tracker.retransmitted(2)
+        assert tracker.state_of(2) is PeerState.DOWN
+        assert p.place() == 1
+        # An answered call heals the tracker and the pool widens again —
+        # the round-robin cursor keeps walking as if nothing happened.
+        tracker.heard_from(2)
+        assert p.place() == 2
+
+    def test_suspect_deprioritized_until_no_healthy_left(self):
+        view, tracker = make_view(suspect_after=1, down_after=3)
+        p = ThreadPlacer("round_robin", [1, 2], health=view, fallback=0)
+        tracker.retransmitted(2)
+        assert tracker.state_of(2) is PeerState.SUSPECT
+        assert p.place() == 1
+        assert p.skip_counts() == {"n2:suspect": 1}
+        # The only healthy peer goes down: the suspect is pressed back
+        # into service rather than refusing to place at all.
+        for _ in range(3):
+            tracker.retransmitted(1)
+        assert tracker.state_of(1) is PeerState.DOWN
+        assert p.place() == 2
+
+    def test_fallback_absorbs_when_nothing_usable(self):
+        view, _ = make_view()
+        p = ThreadPlacer("round_robin", [1, 2], health=view, fallback=0)
+        view.mark_failed(1)
+        view.mark_failed(2)
+        assert p.place() == 0
+        assert p.skip_counts()["n0:fallback"] == 1
+        # Off-candidate placements are counted, not KeyError'd.
+        assert p.distribution() == {1: 0, 2: 0, 0: 1}
+
+    def test_no_fallback_raises(self):
+        view, _ = make_view()
+        p = ThreadPlacer("round_robin", [1], health=view)
+        view.mark_failed(1)
+        with pytest.raises(ConfigError):
+            p.place()
+
+    def test_hint_policy_respects_health_filter(self):
+        view, _ = make_view()
+        p = ThreadPlacer("hint", [1, 2, 3], health=view, fallback=0)
+        view.mark_failed(2)
+        # Group hashing walks the filtered pool [1, 3].
+        assert p.place(hint_group=0) == 1
+        assert p.place(hint_group=1) == 3
+
+
+# -- latched cluster view over the transient tracker ---------------------------
+
+
+class TestClusterHealthView:
+    def test_failure_latches_over_tracker_healing(self):
+        view, tracker = make_view(suspect_after=1, down_after=2)
+        tracker.retransmitted(3)
+        tracker.retransmitted(3)
+        view.mark_failed(3)
+        tracker.heard_from(3)  # a stale reply trickles in post-mortem
+        assert tracker.state_of(3) is PeerState.UP
+        assert view.is_failed(3)
+        assert view.unusable_reason(3) == "down"
+        assert view.state_of(3) is PeerState.DOWN
+
+    def test_draining_and_failed_interplay(self):
+        view, _ = make_view()
+        view.mark_failed(1)
+        view.mark_draining(1)  # no-op: the node is already gone
+        assert not view.is_draining(1)
+        view.mark_draining(2)
+        assert view.unusable_reason(2) == "draining"
+        view.mark_failed(2)  # a crash mid-drain upgrades the verdict
+        assert view.unusable_reason(2) == "down"
+        assert not view.is_draining(2)
+
+
+class TestHealthTrackerHealing:
+    def test_down_heals_on_answered_call(self):
+        sim = Simulator()
+        t = HealthTracker(sim, suspect_after=2, down_after=3)
+        fired = []
+        t.on_down.append(fired.append)
+        for _ in range(3):
+            t.retransmitted(4)
+        assert t.state_of(4) is PeerState.DOWN
+        assert fired == [4]
+        t.retransmitted(4)  # repeat confirmation: no refire
+        assert fired == [4]
+        assert "n4=down" in t.describe()
+        # One answered call heals the peer completely (partition semantics).
+        t.heard_from(4)
+        assert t.state_of(4) is PeerState.UP
+        assert t.states() == {4: PeerState.UP}
+        assert t.peer(4).consecutive_failures == 0
+        # A relapse is a fresh transition and fires the detector again.
+        for _ in range(3):
+            t.retransmitted(4)
+        assert fired == [4, 4]
+
+
+# -- fault-plan schedules ------------------------------------------------------
+
+
+class TestFaultPlanSchedules:
+    def test_crash_schedule_and_wire_rules(self):
+        plan = FaultPlan.crash(2, 5_000)
+        assert plan.crashes == ((2, 5_000),)
+        assert [r.label for r in plan.rules] == ["crash:n2:out", "crash:n2:in"]
+        assert all(r.until_ns is None for r in plan.rules)  # never heals
+        assert "crash:n2@5000ns" in plan.describe()
+
+    def test_drain_keeps_the_wire_clean(self):
+        plan = FaultPlan.drain(1, 2_000)
+        assert plan.drains == ((1, 2_000),)
+        assert plan.rules == ()
+        assert "drain:n1@2000ns" in plan.describe()
+
+    def test_master_cannot_crash_or_drain(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.crash(0, 1_000)
+        with pytest.raises(ConfigError):
+            FaultPlan.drain(0, 1_000)
+        with pytest.raises(ConfigError):
+            FaultPlan.crash(1, -1)
+
+    def test_schedule_entries_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(crashes=((1, "soon"),))
+        with pytest.raises(ConfigError):
+            FaultPlan(drains=((-1, 5),))
+
+
+class TestConfigValidation:
+    def test_health_thresholds(self):
+        with pytest.raises(ConfigError):
+            DQEMUConfig(health_suspect_after=0)
+        with pytest.raises(ConfigError):
+            DQEMUConfig(health_suspect_after=3, health_down_after=3)
+        cfg = DQEMUConfig(health_suspect_after=3, health_down_after=9)
+        assert (cfg.health_suspect_after, cfg.health_down_after) == (3, 9)
+
+    def test_evacuation_requires_timeouts(self):
+        with pytest.raises(ConfigError):
+            DQEMUConfig(evacuation_enabled=True)
+        DQEMUConfig(evacuation_enabled=True, rpc_timeout_ns=10_000)
+
+    def test_cli_flags_parse(self):
+        args = build_parser().parse_args(
+            ["prog.s", "--health-suspect-after", "3", "--health-down-after", "9"]
+        )
+        assert args.health_suspect_after == 3
+        assert args.health_down_after == 9
+
+
+# -- directory re-homing -------------------------------------------------------
+
+
+class TestDirectoryRehoming:
+    def test_evict_node_promotes_shared_and_counts_modified(self):
+        d = Directory()
+        d.commit(3, page=1, write=True)  # n3 owns page 1 (Modified)
+        d.commit(3, page=2, write=False)  # n3 shares page 2 with n1
+        d.commit(1, page=2, write=False)
+        d.commit(1, page=3, write=True)  # untouched bystander
+        rehomed, lost = d.evict_node(3)
+        assert rehomed == [2] and lost == [1]
+        # The Modified page's stale home copy is promoted (owner cleared);
+        # the Shared page simply loses one sharer.
+        assert d.owner(1) is None
+        assert d.sharers(2) == frozenset({1})
+        assert d.owner(3) == 1
+        # Eviction is idempotent once the node holds nothing.
+        assert d.evict_node(3) == ([], [])
+
+
+# -- abort_peer: detection cuts cascading timeouts -----------------------------
+
+
+class TestAbortPeer:
+    def _mini(self, plan=None):
+        sim = Simulator()
+        fabric = Fabric(sim, one_way_latency_ns=100, loopback_latency_ns=10)
+        if plan is not None:
+            FaultInjector(sim, plan).attach(fabric)
+        return sim, [Endpoint(sim, fabric, i) for i in range(2)]
+
+    def test_abort_peer_fails_pending_calls_without_waiting_out_budget(self):
+        # A handler mid-call against a corpse must fail the moment the
+        # detector declares the peer dead, not after its own retry budget —
+        # otherwise the handler's *clients* (whose budgets started earlier)
+        # expire first and a recoverable crash cascades into an abort.
+        plan = FaultPlan.of(drop(dst=1))  # black hole
+        sim, (a, _b) = self._mini(plan)
+        outcome = []
+
+        def caller():
+            try:
+                yield a.request(1, PageRequest(page=1), timeout_ns=5_000, retry=RETRY)
+            except RpcTimeout as exc:
+                outcome.append((sim.now, exc))
+
+        def detector():
+            yield sim.timeout(2_000)
+            a.rpc.abort_peer(1)
+
+        sim.spawn(caller())
+        sim.spawn(detector())
+        sim.run()
+        [(failed_at, exc)] = outcome
+        assert failed_at == 2_000  # at detection, well inside the budget
+        assert isinstance(exc, RpcTimeout)
+
+
+# -- end-to-end crash / drain runs ---------------------------------------------
+
+PROG_KW = dict(n_threads=6, n_options=2040, reps=4)
+RELIABLE = dict(
+    rpc_timeout_ns=20_000, rpc_max_retries=4,
+    rpc_backoff_base_ns=10_000, rpc_backoff_jitter_ns=2_000,
+)
+
+
+def _run(n_slaves=3, **cfg_kw):
+    prog = blackscholes.build(**PROG_KW)
+    cfg = DQEMUConfig(**cfg_kw).time_scaled(100.0)
+    return Cluster(n_slaves, cfg).run(prog, max_virtual_ms=60_000_000)
+
+
+@functools.lru_cache(maxsize=None)
+def _clean():
+    return _run()
+
+
+class TestCrashTolerance:
+    def test_crash_aborts_without_failure_domain(self):
+        # Seed behavior: retries alone cannot ride out a fail-stop crash.
+        plan = FaultPlan.crash(1, int(_clean().virtual_ns * 0.35), seed=1)
+        with pytest.raises(ServiceTimeout) as excinfo:
+            _run(fault_plan=plan, **RELIABLE)
+        assert "no reply" in str(excinfo.value)
+
+    def test_crash_with_evacuation_completes_degraded(self):
+        crash_at = int(_clean().virtual_ns * 0.35)
+        plan = FaultPlan.crash(1, crash_at, seed=1)
+        r = _run(
+            fault_plan=plan,
+            evacuation_enabled=True,
+            health_aware_placement=True,
+            **RELIABLE,
+        )
+        assert r.exit_code == 0
+        assert r.failures is not None
+        rec = r.failures.nodes[1]
+        assert rec.kind == "crash"
+        assert rec.detected_ns >= crash_at
+        assert rec.recovered_ns is not None and rec.recovery_ns >= 0
+        # Everything the victim held is accounted for: evacuated or lost.
+        assert len(rec.evacuated) + len(rec.lost) > 0
+        assert "n1 crash" in r.failures.describe()
+        # The detector's verdict sticks for the rest of the run.
+        assert r.health.state_of(1) is PeerState.DOWN
+        # The failure service attributed exactly this recovery's work.
+        svc = r.stats.services["failure"]
+        assert svc.evacuations == len(rec.evacuated)
+        assert svc.lost_threads == len(rec.lost)
+        assert svc.rehomed_pages == rec.rehomed_pages
+        assert svc.lost_pages == rec.lost_pages
+
+    def test_drain_completes_without_loss(self):
+        drain_at = int(_clean().virtual_ns * 0.35)
+        plan = FaultPlan.drain(2, drain_at, seed=2)
+        r = _run(
+            fault_plan=plan,
+            evacuation_enabled=True,
+            health_aware_placement=True,
+            **RELIABLE,
+        )
+        assert r.exit_code == 0
+        assert r.stdout == _clean().stdout  # nothing lost: same answers
+        rec = r.failures.nodes[2]
+        assert rec.kind == "drain"
+        assert rec.evacuated and not rec.lost
+        assert rec.rehomed_pages == 0 and rec.lost_pages == 0
+        assert rec.recovered_ns is not None
+        assert all(target != 2 for _tid, target in rec.evacuated)
+
+    def test_default_run_is_untouched_by_the_machinery(self):
+        armed = _run(**RELIABLE)
+        plain = _clean()
+        assert plain.failures is None and armed.failures is None
+        assert plain.placement_skips == {}
+        # The failure service row never appears unless the domain is armed,
+        # keeping the committed breakdown tables bit-identical.
+        assert "failure" not in plain.stats.services
+        assert "failure" not in armed.stats.services
+        assert armed.virtual_ns == plain.virtual_ns
+
+    def test_custom_health_thresholds_reach_the_tracker(self):
+        r = _run(health_suspect_after=3, health_down_after=9)
+        assert r.health.suspect_after == 3
+        assert r.health.down_after == 9

@@ -1,6 +1,6 @@
 """Live thread migration (sched_setaffinity) and nanosleep tests."""
 
-from repro import Cluster, DQEMUConfig
+from repro import Cluster, DQEMUConfig, FaultPlan
 from repro.baselines import run_qemu
 from repro.kernel.sysnums import SYS
 from repro.workloads.common import emit_fanout_main, workload_builder
@@ -93,6 +93,25 @@ class TestMigration:
         retval = int(r.stdout.splitlines()[1])
         assert retval == (-22) & (2**64 - 1)  # -EINVAL
         assert r.stats.protocol.thread_migrations == 0
+
+    def test_migrate_to_draining_node_einval(self):
+        # A draining node is closed for new work (docs/PROTOCOL.md "Failure
+        # domains"): the guest's setaffinity fails with EINVAL instead of
+        # stranding the thread on a node that is being evacuated.
+        prog = migrating_program(target_node=2, iters=200)
+        cfg = DQEMUConfig(
+            rpc_timeout_ns=100_000, rpc_max_retries=6,
+            rpc_backoff_base_ns=10_000, rpc_backoff_jitter_ns=2_000,
+            evacuation_enabled=True, health_aware_placement=True,
+            fault_plan=FaultPlan.drain(2, 0),
+        ).time_scaled(100.0)
+        r = Cluster(2, cfg).run(prog, **LONG)
+        lines = r.stdout.splitlines()
+        assert int(lines[0]) == 400  # counting continued on the old node
+        assert int(lines[1]) == (-22) & (2**64 - 1)  # -EINVAL
+        assert r.stats.protocol.thread_migrations == 0
+        # The placer also refused the drained node for the worker's spawn.
+        assert r.placement_skips.get("n2:draining", 0) >= 1
 
     def test_pure_qemu_treats_affinity_as_noop(self):
         prog = migrating_program(target_node=0, iters=50)
