@@ -31,6 +31,8 @@ Quickstart::
 
 from repro.core.cluster import Cluster, RunResult
 from repro.core.config import DQEMUConfig
+from repro.core.jobs import Job, JobState
+from repro.errors import AdmissionError
 from repro.core.services.base import ServiceTimeout
 from repro.isa import AsmBuilder, Program, assemble
 from repro.net.faults import FaultPlan, FaultRule
@@ -38,11 +40,14 @@ from repro.net.faults import FaultPlan, FaultRule
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "AsmBuilder",
     "Cluster",
     "DQEMUConfig",
     "FaultPlan",
     "FaultRule",
+    "Job",
+    "JobState",
     "Program",
     "RunResult",
     "ServiceTimeout",

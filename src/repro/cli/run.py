@@ -45,6 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "threshold)")
     p.add_argument("--qemu", action="store_true",
                    help="run the vanilla single-node QEMU baseline instead")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="submit the program N times as concurrent tenants "
+                        "on one fleet (default 1)")
+    p.add_argument("--max-concurrent-jobs", type=int, default=3, metavar="N",
+                   help="jobs allowed to run at once; later submissions "
+                        "queue (default 3)")
+    p.add_argument("--admission-queue-depth", type=int, default=16, metavar="N",
+                   help="queued submissions tolerated beyond the running set "
+                        "before submit() is refused (default 16)")
     p.add_argument("--stdin", default=None,
                    help="file fed to the guest's stdin ('-' for this process's stdin)")
     p.add_argument("--file", action="append", default=[], metavar="PATH",
@@ -82,12 +91,32 @@ def main(argv: list[str] | None = None) -> int:
         health_suspect_after=args.health_suspect_after,
         health_down_after=args.health_down_after,
         pure_qemu=args.qemu,
+        max_concurrent_jobs=args.max_concurrent_jobs,
+        admission_queue_depth=args.admission_queue_depth,
     )
     if args.time_scale != 1.0:
         config = config.time_scaled(args.time_scale)
 
     cluster = Cluster(0 if args.qemu else args.slaves, config, trace=args.trace)
-    result = cluster.run(program, stdin=stdin, files=files, max_virtual_ms=args.max_ms)
+    if args.jobs > 1:
+        jobs = [
+            cluster.submit(program, name=f"job{i}", stdin=stdin, files=files,
+                           max_virtual_ms=args.max_ms)
+            for i in range(args.jobs)
+        ]
+        results = cluster.join(jobs)
+        for job, res in zip(jobs, results):
+            sys.stdout.write(res.stdout)
+            if res.stderr:
+                sys.stderr.write(res.stderr)
+            print(f"[{job.name}: exit {res.exit_code}; "
+                  f"{res.virtual_ns / 1e6:.3f} ms virtual; "
+                  f"queue wait {res.queue_wait_ns / 1e6:.3f} ms]",
+                  file=sys.stderr)
+        return max(res.exit_code for res in results)
+
+    result = cluster.run(program, stdin=stdin, files=files,
+                         max_virtual_ms=args.max_ms)
 
     sys.stdout.write(result.stdout)
     if result.stderr:

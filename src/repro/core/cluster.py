@@ -1,4 +1,4 @@
-"""Public entry point: build a DQEMU cluster and run a guest program on it.
+"""Public entry point: build a DQEMU fleet and admit guest programs to it.
 
 Usage::
 
@@ -8,8 +8,22 @@ Usage::
     result = cluster.run(program)
     print(result.stdout, result.virtual_seconds)
 
-One :class:`Cluster` is single-use (it owns a simulator instance); create a
-fresh one per run, as the experiments do.
+A :class:`Cluster` is long-lived: it owns one simulated fleet (simulator,
+fabric, nodes) and *admits* jobs onto it.  :meth:`Cluster.submit` hands a
+program to the admission queue and returns a :class:`~repro.core.jobs.Job`;
+:meth:`Cluster.join` drives the simulation until the given jobs settle.
+Multiple concurrent guests share the nodes — each admitted job is a
+*tenant* with its own master runtime, directory shards, system state, futex
+namespace, and per-node memory bundles, so isolation is structural rather
+than filtered.  At most ``config.max_concurrent_jobs`` run at once; up to
+``config.admission_queue_depth`` more wait in FIFO order, and beyond that
+``submit`` raises :class:`~repro.errors.AdmissionError`.
+
+:meth:`Cluster.run` survives as the one-job convenience wrapper (submit +
+join); a single ``run`` on a fresh cluster is bit-identical to the
+historical single-use behavior.  Fault plans, evacuation, and the
+pure-QEMU baseline remain single-job per cluster — their schedules are
+properties of one run, not of a shared fleet.
 """
 
 from __future__ import annotations
@@ -18,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.config import DQEMUConfig
+from repro.core.jobs import Job, JobManager, JobState
 from repro.core.localkernel import LocalKernel
 from repro.core.master import MasterRuntime
 from repro.core.node import NodeRuntime
@@ -31,14 +46,14 @@ from repro.kernel.syscalls import SystemState
 from repro.mem.layout import STACK_TOP, page_of
 from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
+from repro.mem.sharding import TenantDirectoryView
 from repro.net.fabric import Fabric, FabricStats
 from repro.net.faults import FaultInjector, FaultStats
 from repro.net.health import ClusterHealthView, HealthTracker
-from repro.net.messages import reset_req_seq
 from repro.net.rpc import RpcStats
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
-__all__ = ["Cluster", "RunResult"]
+__all__ = ["Cluster", "RunResult", "Job", "JobState"]
 
 
 @dataclass
@@ -61,6 +76,11 @@ class RunResult:
     placement_skips: dict[str, int] = field(default_factory=dict)
     files: dict[str, bytes] = field(default_factory=dict)
     trace: Optional["Tracer"] = None  # set when the cluster ran with trace=True
+    #: Which admitted job produced this result (0 for a fresh cluster's
+    #: first — and a solo run's only — job).
+    tenant: int = 0
+    #: Virtual ns the job sat in the admission queue before starting.
+    queue_wait_ns: int = 0
 
     @property
     def virtual_seconds(self) -> float:
@@ -73,8 +93,91 @@ class RunResult:
         )
 
 
+@dataclass
+class _JobRuntime:
+    """Cluster-private per-job runtime bundle attached to ``Job.runtime``."""
+
+    stats: RunStats
+    done: Event
+    home: PageStore
+    state: SystemState
+    placer: ThreadPlacer
+    master: Optional[MasterRuntime]
+    failure_domain: object  # Optional[FailureDomainService]
+    rpc_base: RpcStats
+    deadline_ns: Optional[int]
+
+
+class _Fleet:
+    """The long-lived shared substrate: simulator, fabric, nodes, health.
+
+    Built lazily on the first admission so a fresh cluster's first run
+    reproduces the historical construction order event-for-event.  Tenants
+    come and go; the fleet persists until the :class:`Cluster` is dropped
+    or a node-level failure marks it broken.
+    """
+
+    def __init__(self, cluster: "Cluster", first_stats: RunStats) -> None:
+        cfg = cluster.config
+        self.sim = Simulator()
+        self.fabric = Fabric(
+            self.sim,
+            bandwidth_bps=cfg.bandwidth_bps,
+            one_way_latency_ns=cfg.one_way_latency_ns,
+            loopback_latency_ns=cfg.loopback_latency_ns,
+        )
+        self.injector: Optional[FaultInjector] = None
+        if cfg.fault_plan is not None:
+            self.injector = FaultInjector(self.sim, cfg.fault_plan).attach(self.fabric)
+        # Peer health is pure bookkeeping (no simulator events), so every
+        # fleet carries a tracker; the RPC channels feed it via fabric.health.
+        self.health = HealthTracker(
+            self.sim,
+            suspect_after=cfg.health_suspect_after,
+            down_after=cfg.health_down_after,
+        )
+        self.fabric.health = self.health
+        drains = cfg.fault_plan.drains if cfg.fault_plan is not None else ()
+        need_view = (
+            cfg.evacuation_enabled or cfg.health_aware_placement or bool(drains)
+        )
+        self.view: Optional[ClusterHealthView] = (
+            ClusterHealthView(tracker=self.health) if need_view else None
+        )
+        cluster.tracer.bind_clock(lambda: self.sim.now)
+        self.node_ids = list(range(cluster.n_slaves + 1))
+        self.nodes = {
+            nid: NodeRuntime(
+                self.sim, self.fabric, nid, cfg, first_stats,
+                on_failure=self.fail, tracer=cluster.tracer,
+            )
+            for nid in self.node_ids
+        }
+        if cfg.rpc_max_retries:
+            # Retransmits of already-answered requests are deduplicated by the
+            # dispatchers, so the answer must come from the channels' reply
+            # caches; armed only with retries to keep default-state footprints
+            # identical.
+            for node in self.nodes.values():
+                node.endpoint.rpc.enable_reply_cache()
+        #: Tenant-keyed read-only views over each job's directory shards.
+        self.directories = TenantDirectoryView()
+        #: Jobs currently running (admitted, not yet settled).
+        self.active: list[Job] = []
+        self.started = False
+        self.broken_error: Optional[BaseException] = None
+
+    def fail(self, exc: BaseException) -> None:
+        """A node-level failure poisons every active job on the fleet."""
+        self.broken_error = exc
+        for job in list(self.active):
+            done = job.runtime.done
+            if not done.triggered:
+                done.fail(exc)
+
+
 class Cluster:
-    """A master plus ``n_slaves`` slave nodes (paper Fig. 2)."""
+    """A master plus ``n_slaves`` slave nodes (paper Fig. 2), job-admitting."""
 
     def __init__(self, n_slaves: int = 0, config: Optional[DQEMUConfig] = None,
                  *, trace: bool = False):
@@ -85,9 +188,87 @@ class Cluster:
             raise ConfigError("the QEMU baseline is single-node (n_slaves=0)")
         self.n_slaves = n_slaves
         self.tracer = Tracer() if trace else NULL_TRACER
-        self._used = False
+        self._fleet: Optional[_Fleet] = None
+        self._next_tenant = 0
+        self.jobs: list[Job] = []
+        self.manager = JobManager(
+            self.config.max_concurrent_jobs,
+            self.config.admission_queue_depth,
+            self._admit,
+        )
 
-    # -- running ------------------------------------------------------------
+    @property
+    def directories(self) -> TenantDirectoryView:
+        """Tenant-keyed read-only directory views (debugging, tests)."""
+        if self._fleet is None:
+            raise ConfigError("no jobs admitted yet")
+        return self._fleet.directories
+
+    # -- admission ------------------------------------------------------------
+
+    @property
+    def _single_job_fleet(self) -> bool:
+        # Fault schedules, evacuation wiring, and the local-kernel baseline
+        # are properties of one run; sharing a fleet under them is undefined.
+        cfg = self.config
+        return bool(cfg.pure_qemu or cfg.evacuation_enabled
+                    or cfg.fault_plan is not None)
+
+    def submit(
+        self,
+        program: Program,
+        *,
+        name: Optional[str] = None,
+        stdin: bytes = b"",
+        files: Optional[dict[str, bytes]] = None,
+        max_virtual_ms: Optional[float] = None,
+    ) -> Job:
+        """Admit ``program`` as a new job (or queue it; or refuse).
+
+        Returns immediately with the :class:`Job` handle; nothing executes
+        until :meth:`join` (or another job's ``join``) drives the simulator.
+        Raises :class:`~repro.errors.AdmissionError` when both the running
+        set and the admission queue are full.
+        """
+        if self._fleet is not None and self._fleet.broken_error is not None:
+            raise ConfigError(
+                "cluster fleet has failed; build a new Cluster"
+            ) from self._fleet.broken_error
+        if self._single_job_fleet and self.jobs:
+            raise ConfigError(
+                "fault plans, evacuation, and the pure-QEMU baseline are "
+                "single-job per Cluster; build a new one per run"
+            )
+        job = Job(
+            tenant=self._next_tenant,
+            name=name if name is not None else f"job{self._next_tenant}",
+            program=program,
+            stdin=bytes(stdin),
+            files=dict(files or {}),
+            max_virtual_ms=max_virtual_ms,
+        )
+        job.submitted_ns = self._fleet.sim.now if self._fleet is not None else 0
+        self.manager.submit(job)  # may raise AdmissionError; nothing recorded
+        self._next_tenant += 1
+        self.jobs.append(job)
+        return job
+
+    def join(self, jobs: Optional[list[Job]] = None) -> list[RunResult]:
+        """Drive the fleet until the given jobs (default: all) settle.
+
+        Returns their results in the given (submission) order; re-raises
+        the first failed job's error.
+        """
+        targets = list(jobs) if jobs is not None else list(self.jobs)
+        if not targets:
+            return []
+        self._drive(targets)
+        for job in targets:
+            if job.error is not None:
+                raise job.error
+        return [job.result for job in targets]
+
+    # -- one-job compatibility wrapper ---------------------------------------
 
     def run(
         self,
@@ -97,64 +278,43 @@ class Cluster:
         files: Optional[dict[str, bytes]] = None,
         max_virtual_ms: Optional[float] = None,
     ) -> RunResult:
-        if self._used:
-            raise ConfigError("Cluster instances are single-use; build a new one")
-        self._used = True
+        """Submit one job and drive it to completion (the classic API)."""
+        job = self.submit(
+            program, stdin=stdin, files=files, max_virtual_ms=max_virtual_ms
+        )
+        self._drive([job])
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    # -- job lifecycle --------------------------------------------------------
+
+    def _admit(self, job: Job) -> None:
+        """Build and start one job's runtime on the (possibly new) fleet.
+
+        Called by the :class:`JobManager` either synchronously from
+        ``submit`` or from a finishing job's done callback — i.e. inside
+        the simulation timeline, which is what makes queued-job admission
+        deterministic.
+        """
         cfg = self.config
-
-        # Req ids (and the backoff jitter keyed on them) must be a function
-        # of this run alone, not of earlier runs in the same process.
-        reset_req_seq()
-        sim = Simulator()
-        fabric = Fabric(
-            sim,
-            bandwidth_bps=cfg.bandwidth_bps,
-            one_way_latency_ns=cfg.one_way_latency_ns,
-            loopback_latency_ns=cfg.loopback_latency_ns,
-        )
-        injector: Optional[FaultInjector] = None
-        if cfg.fault_plan is not None:
-            injector = FaultInjector(sim, cfg.fault_plan).attach(fabric)
-        # Peer health is pure bookkeeping (no simulator events), so every run
-        # carries a tracker; the RPC channels feed it through fabric.health.
-        health = HealthTracker(
-            sim,
-            suspect_after=cfg.health_suspect_after,
-            down_after=cfg.health_down_after,
-        )
-        fabric.health = health
-        # Failure-domain schedules and the latched cluster view over the
-        # tracker (None keeps every component on its failure-blind paths).
-        crashes = cfg.fault_plan.crashes if cfg.fault_plan is not None else ()
-        drains = cfg.fault_plan.drains if cfg.fault_plan is not None else ()
-        need_view = (
-            cfg.evacuation_enabled or cfg.health_aware_placement or bool(drains)
-        )
-        view: Optional[ClusterHealthView] = (
-            ClusterHealthView(tracker=health) if need_view else None
-        )
-        stats = RunStats()
+        stats = RunStats(tenant=job.tenant)
+        first = self._fleet is None
+        if first:
+            fleet = self._fleet = _Fleet(self, stats)
+        else:
+            fleet = self._fleet
+            if fleet.broken_error is not None:
+                job.state = JobState.FAILED
+                job.error = fleet.broken_error
+                return
+            for node in fleet.nodes.values():
+                node.add_tenant(job.tenant, stats)
+        sim = fleet.sim
+        job.state = JobState.RUNNING
+        job.admitted_ns = sim.now
+        program = job.program
         done = sim.event()
-
-        def fail(exc: BaseException) -> None:
-            if not done.triggered:
-                done.fail(exc)
-
-        self.tracer.bind_clock(lambda: sim.now)
-        node_ids = list(range(self.n_slaves + 1))
-        nodes = {
-            nid: NodeRuntime(
-                sim, fabric, nid, cfg, stats, on_failure=fail, tracer=self.tracer
-            )
-            for nid in node_ids
-        }
-        if cfg.rpc_max_retries:
-            # Retransmits of already-answered requests are deduplicated by the
-            # dispatchers, so the answer must come from the channels' reply
-            # caches; armed only with retries to keep default-state footprints
-            # identical.
-            for node in nodes.values():
-                node.endpoint.rpc.enable_reply_cache()
 
         # Authoritative guest memory on the master (the "home" copies).
         home = PageStore()
@@ -162,93 +322,158 @@ class Cluster:
             self._load_segment(home, vaddr, data)
 
         state = SystemState(
-            brk_start=program.load_end, stdin=stdin, clock_ns=lambda: sim.now
+            brk_start=program.load_end, stdin=job.stdin,
+            clock_ns=lambda: sim.now, tenant=job.tenant,
         )
-        if files:
-            for path, data in files.items():
-                state.vfs.add_file(path, data)
+        for path, data in job.files.items():
+            state.vfs.add_file(path, data)
 
-        candidates = node_ids[1:] if (self.n_slaves and not cfg.schedule_on_master) else [0]
+        candidates = (
+            fleet.node_ids[1:]
+            if (self.n_slaves and not cfg.schedule_on_master) else [0]
+        )
         placer = ThreadPlacer(
             cfg.scheduler, candidates,
-            health=view if cfg.health_aware_placement else None,
+            health=fleet.view if cfg.health_aware_placement else None,
             fallback=0,
+            # Stagger each tenant's round-robin cursor so concurrent jobs
+            # interleave across the slaves instead of piling onto node 1.
+            rr_offset=job.tenant % len(candidates),
         )
 
         master: Optional[MasterRuntime] = None
         if cfg.pure_qemu:
-            nodes[0].local_kernel = LocalKernel(
-                nodes[0], state, finish=lambda status: self._finish_local(nodes[0], done, status)
+            node0 = fleet.nodes[0]
+            node0.local_kernel = LocalKernel(
+                node0, state,
+                finish=lambda status: self._finish_local(node0, done, status),
             )
             # The baseline executes against its own page store directly.
+            bundle = node0.tenants[job.tenant]
             for page in home.pages():
-                nodes[0].pagestore.install(page, home.snapshot(page), MSIState.MODIFIED)
+                bundle.pagestore.install(page, home.snapshot(page), MSIState.MODIFIED)
         else:
-            master_view = view if (cfg.evacuation_enabled or drains) else None
+            drains = cfg.fault_plan.drains if cfg.fault_plan is not None else ()
+            master_view = (
+                fleet.view if (cfg.evacuation_enabled or drains) else None
+            )
             master = MasterRuntime(
-                sim, cfg, nodes[0], node_ids, home, state, placer, stats, done,
-                failure_view=master_view,
+                sim, cfg, fleet.nodes[0], fleet.node_ids, home, state, placer,
+                stats, done, failure_view=master_view, tenant=job.tenant,
+            )
+            fleet.directories.add_tenant(
+                job.tenant,
+                [shard.coherence.directory for shard in master.shards],
             )
 
         # -- failure-domain wiring (docs/PROTOCOL.md "Failure domains") --------
         failure_domain = master.failure_domain if master is not None else None
-        if cfg.evacuation_enabled:
-            if failure_domain is None:
-                raise ConfigError("evacuation_enabled requires a master runtime")
-            # Promote peer-level DOWN (retry budget exhausted) into a
-            # cluster-level node failure: latch the view, evict the
-            # directory, recover the threads.
-            health.on_down.append(failure_domain.node_failed)
-        for node_id, at_ns in crashes:
-            if node_id not in nodes or node_id == 0:
-                raise ConfigError(f"cannot crash node {node_id}")
-            sim.timeout(at_ns).add_callback(
-                lambda _e, n=node_id: nodes[n].crash()
-            )
-        for node_id, at_ns in drains:
-            if node_id not in nodes or node_id == 0:
-                raise ConfigError(f"cannot drain node {node_id}")
-            if failure_domain is None:
-                raise ConfigError("drain schedules require a master runtime")
-            sim.timeout(at_ns).add_callback(
-                lambda _e, n=node_id: failure_domain.start_drain(n)
-            )
+        if first:
+            crashes = cfg.fault_plan.crashes if cfg.fault_plan is not None else ()
+            drains = cfg.fault_plan.drains if cfg.fault_plan is not None else ()
+            if cfg.evacuation_enabled:
+                if failure_domain is None:
+                    raise ConfigError("evacuation_enabled requires a master runtime")
+                # Promote peer-level DOWN (retry budget exhausted) into a
+                # cluster-level node failure: latch the view, evict the
+                # directory, recover the threads.
+                fleet.health.on_down.append(failure_domain.node_failed)
+            for node_id, at_ns in crashes:
+                if node_id not in fleet.nodes or node_id == 0:
+                    raise ConfigError(f"cannot crash node {node_id}")
+                sim.timeout(at_ns).add_callback(
+                    lambda _e, n=node_id: fleet.nodes[n].crash()
+                )
+            for node_id, at_ns in drains:
+                if node_id not in fleet.nodes or node_id == 0:
+                    raise ConfigError(f"cannot drain node {node_id}")
+                if failure_domain is None:
+                    raise ConfigError("drain schedules require a master runtime")
+                sim.timeout(at_ns).add_callback(
+                    lambda _e, n=node_id: failure_domain.start_drain(n)
+                )
 
         # Main thread starts on the master (paper Fig. 2).
         main_rec = state.threads.create(node=0, parent_tid=0)
         main_cpu = CPUState(pc=program.entry, tid=main_rec.tid, sp=STACK_TOP - 64)
 
-        for node in nodes.values():
-            node.start()
+        job.runtime = _JobRuntime(
+            stats=stats,
+            done=done,
+            home=home,
+            state=state,
+            placer=placer,
+            master=master,
+            failure_domain=failure_domain,
+            # Channel counters are fleet-wide; a snapshot at admission lets
+            # the result report this job's delta.
+            rpc_base=RpcStats.collect(
+                n.endpoint.rpc for n in fleet.nodes.values()
+            ),
+            deadline_ns=(
+                None if job.max_virtual_ms is None
+                else job.admitted_ns + int(job.max_virtual_ms * 1e6)
+            ),
+        )
+        fleet.active.append(job)
+        done.add_callback(lambda _ev, j=job: self._settle(j))
+
+        if not fleet.started:
+            fleet.started = True
+            for node in fleet.nodes.values():
+                node.start()
         if master is not None:
             master.start()
-        nodes[0].add_thread(main_cpu)
+        fleet.nodes[0].add_thread(main_cpu, tenant=job.tenant)
 
-        deadline = None if max_virtual_ms is None else int(max_virtual_ms * 1e6)
-        exit_code = self._drive(sim, done, deadline)
+    def _settle(self, job: Job) -> None:
+        """Done-event callback: finalize the job and free its slot."""
+        fleet = self._fleet
+        done = job.runtime.done
+        job.finished_ns = fleet.sim.now
+        if done.ok:
+            job.state = JobState.FINISHED
+            job.result = self._build_result(job, done.value)
+        else:
+            job.state = JobState.FAILED
+            job.error = done.value
+        if job in fleet.active:
+            fleet.active.remove(job)
+        # Freeing the slot may admit the queue head — at this virtual time.
+        self.manager.job_done(job)
 
-        # -- collect results ----------------------------------------------------
-        stats.wall_ns = sim.now
-        for node in nodes.values():
-            stats.insns_executed += node.engine.insns_executed
-            stats.insns_translated += node.engine.insns_translated
+    def _build_result(self, job: Job, exit_code: int) -> RunResult:
+        fleet = self._fleet
+        rt: _JobRuntime = job.runtime
+        stats = rt.stats
+        stats.wall_ns = fleet.sim.now
+        for node in fleet.nodes.values():
+            bundle = node.tenants[job.tenant]
+            stats.insns_executed += bundle.engine.insns_executed
+            stats.insns_translated += bundle.engine.insns_translated
+        rpc_total = RpcStats.collect(
+            node.endpoint.rpc for node in fleet.nodes.values()
+        )
         return RunResult(
             exit_code=exit_code,
-            stdout=state.vfs.stdout_text(),
-            stderr=state.vfs.stderr_text(),
-            virtual_ns=sim.now,
+            stdout=rt.state.vfs.stdout_text(),
+            stderr=rt.state.vfs.stderr_text(),
+            virtual_ns=fleet.sim.now - job.admitted_ns,
             stats=stats,
-            fabric=fabric.stats,
-            faults=injector.stats if injector is not None else None,
-            rpc=RpcStats.collect(node.endpoint.rpc for node in nodes.values()),
-            health=health,
+            fabric=fleet.fabric.stats_for(job.tenant),
+            faults=fleet.injector.stats if fleet.injector is not None else None,
+            rpc=rpc_total.minus(rt.rpc_base),
+            health=fleet.health,
             failures=(
-                failure_domain.failures if failure_domain is not None else None
+                rt.failure_domain.failures
+                if rt.failure_domain is not None else None
             ),
-            placements=placer.distribution(),
-            placement_skips=placer.skip_counts(),
-            files=state.vfs.dump_files(),
+            placements=rt.placer.distribution(),
+            placement_skips=rt.placer.skip_counts(),
+            files=rt.state.vfs.dump_files(),
             trace=self.tracer if self.tracer.enabled else None,
+            tenant=job.tenant,
+            queue_wait_ns=job.queue_wait_ns,
         )
 
     # -- helpers ----------------------------------------------------------------
@@ -273,18 +498,42 @@ class Cluster:
             done.succeed(status & 0xFF)
 
     @staticmethod
-    def _drive(sim: Simulator, done, deadline: Optional[int]) -> int:
-        while not done.processed:
+    def _settled(job: Job) -> bool:
+        return job.state in (JobState.FINISHED, JobState.FAILED)
+
+    def _drive(self, targets: list[Job]) -> None:
+        fleet = self._fleet
+        sim = fleet.sim
+        while any(not self._settled(job) for job in targets):
             if not sim._heap:
                 raise SimulationError(
                     f"guest program deadlocked at t={sim.now} ns "
                     "(all threads blocked, no pending events)"
                 )
+            deadline: Optional[int] = None
+            for job in fleet.active:
+                d = job.runtime.deadline_ns
+                if d is not None and (deadline is None or d < deadline):
+                    deadline = d
             if deadline is not None and sim._heap[0][0] > deadline:
-                raise SimulationError(
-                    f"virtual-time budget exceeded ({deadline} ns): guest still running"
-                )
+                raise self._deadline_error(deadline)
             sim.step()
-        if not done.ok:
-            raise done.value
-        return done.value
+
+    def _deadline_error(self, deadline: int) -> SimulationError:
+        """Budget-exceeded report: how far we got and who was still running."""
+        fleet = self._fleet
+        sim = fleet.sim
+        live = 0
+        jobs_desc = []
+        for job in fleet.active:
+            alive = len(job.runtime.state.threads.alive())
+            live += alive
+            jobs_desc.append(
+                f"{job.name} (tenant {job.tenant}, {alive} live thread(s))"
+            )
+        detail = "; ".join(jobs_desc) if jobs_desc else "no jobs running"
+        return SimulationError(
+            f"virtual-time budget exceeded ({deadline} ns): guest still "
+            f"running — virtual time advanced to t={sim.now} ns, "
+            f"{live} guest thread(s) still live; running job(s): {detail}"
+        )

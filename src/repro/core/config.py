@@ -136,6 +136,13 @@ class DQEMUConfig:
     # detected by timeout expiry.
     evacuation_enabled: bool = False
 
+    # -- multi-tenant job admission (docs/PROTOCOL.md "Multi-tenant jobs") ----
+    # Jobs submitted beyond max_concurrent_jobs wait in the admission queue;
+    # beyond queue depth on top of that, submit() refuses outright
+    # (back-pressure to the caller instead of unbounded buffering).
+    max_concurrent_jobs: int = 3
+    admission_queue_depth: int = 16
+
     # -- baseline -------------------------------------------------------------
     pure_qemu: bool = False  # single-node vanilla-QEMU model (no DSM layer)
     qemu_cpi_discount: float = 0.96
@@ -166,6 +173,10 @@ class DQEMUConfig:
             raise ConfigError("rpc backoff delays must be non-negative")
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise ConfigError("fault_plan must be a repro.net.faults.FaultPlan")
+        if self.max_concurrent_jobs < 1:
+            raise ConfigError("max_concurrent_jobs must be >= 1")
+        if self.admission_queue_depth < 0:
+            raise ConfigError("admission_queue_depth must be >= 0")
         if self.health_suspect_after < 1:
             raise ConfigError("health_suspect_after must be >= 1")
         if self.health_down_after <= self.health_suspect_after:

@@ -21,18 +21,22 @@ class GuestThreadState(enum.Enum):
 class GuestThread:
     """A guest thread as a DQEMU node sees it: vCPU context + accounting."""
 
-    __slots__ = ("cpu", "stats", "state", "enqueued_at", "blocked_at")
+    __slots__ = ("cpu", "stats", "state", "enqueued_at", "blocked_at", "tenant")
 
-    def __init__(self, cpu: CPUState, stats: ThreadStats):
+    def __init__(self, cpu: CPUState, stats: ThreadStats, tenant: int = 0):
         self.cpu = cpu
         self.stats = stats
         self.state = GuestThreadState.READY
         self.enqueued_at: int = 0
         self.blocked_at: Optional[int] = None
+        self.tenant = tenant
 
     @property
     def tid(self) -> int:
         return self.cpu.tid
 
     def __repr__(self) -> str:
-        return f"GuestThread(tid={self.tid}, state={self.state.value}, pc={self.cpu.pc:#x})"
+        return (
+            f"GuestThread(tid={self.tid}, tenant={self.tenant}, "
+            f"state={self.state.value}, pc={self.cpu.pc:#x})"
+        )

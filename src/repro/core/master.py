@@ -21,6 +21,14 @@ pushes — goes through the
 :class:`~repro.core.services.coordinator.CrossShardCoordinator`.  With the
 default ``master_shards = 1`` this collapses to the paper's
 single-directory master, bit-for-bit.
+
+Multi-tenancy: one ``MasterRuntime`` per admitted job, all sharing node 0's
+physical endpoint through a :class:`~repro.net.endpoint.TenantEndpoint`
+that stamps the job's tenant id onto every frame the runtime originates.
+Manager subscriptions are keyed ``("mgr", tenant, src, shard)``, so each
+job's managers only ever see its own frames, and the whole service stack
+below them (directory, futexes, thread table, system state) is per job by
+construction.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from repro.core.stats import RunStats
 from repro.kernel.syscalls import SystemState
 from repro.mem.pagestore import PageStore
 from repro.mem.sharding import ShardedDirectoryView, ShardedSplitView
+from repro.net.endpoint import TenantEndpoint
 from repro.net.messages import Shutdown
 from repro.sim.engine import Event, Simulator
 
@@ -107,11 +116,15 @@ class MasterRuntime:
         done: Event,
         *,
         failure_view: Optional["ClusterHealthView"] = None,
+        tenant: int = 0,
     ) -> None:
         self.sim = sim
         self.config = config
         self.node = node
-        self.endpoint = node.endpoint
+        self.tenant = tenant
+        # Every frame this runtime's services originate carries the job's
+        # tenant id; replies inherit it from the request automatically.
+        self.endpoint = TenantEndpoint(node.endpoint, tenant)
         self.node_ids = list(node_ids)
         self.home = home
         self.state = state
@@ -231,7 +244,7 @@ class MasterRuntime:
     def _manager(self, nid: int, shard: MasterShard):
         """One manager per (node, shard), serving that node's requests for
         that shard's pages (§4; sharding per docs/PROTOCOL.md)."""
-        q = self.endpoint.subscribe(("mgr", nid, shard.shard))
+        q = self.endpoint.subscribe(("mgr", self.tenant, nid, shard.shard))
         while True:
             msg = yield q.get()
             if self._finished:

@@ -15,6 +15,15 @@ Each node runs:
 The same class is every node: the master is node 0 with a
 :class:`~repro.core.master.MasterRuntime` attached, talking to itself over
 the fabric's loopback path.
+
+Multi-tenancy: a long-lived node hosts guest threads of several concurrent
+jobs.  Everything address-space-shaped — page store, split table, LL/SC
+reservations, DBT engine (whose code cache is keyed by guest PC), thread
+table, in-flight fault tracking — lives in a per-tenant :class:`NodeTenant`
+bundle, so jobs cannot see each other's pages or threads even though they
+share the node's cores and NIC.  The cores themselves are shared hardware:
+one run queue (tenant-fair, see
+:class:`~repro.core.scheduler.FairRunQueue`) feeds every core.
 """
 
 from __future__ import annotations
@@ -52,13 +61,13 @@ from repro.net.messages import (
     PageRequest,
     SyscallRequest,
 )
+from repro.core.scheduler import FairRunQueue
 from repro.sim.engine import Simulator
-from repro.sim.sync import SimQueue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.localkernel import LocalKernel
 
-__all__ = ["NodeRuntime", "COMMAND_KINDS"]
+__all__ = ["NodeRuntime", "NodeTenant", "COMMAND_KINDS"]
 
 A0, A7 = 10, 17
 
@@ -79,6 +88,72 @@ def _master_shard_key(msg, nshards: int) -> int:
     if page is None:
         return 0
     return shard_of(page, nshards)
+
+
+class NodeTenant:
+    """One job's private slice of a node.
+
+    Page numbers and thread ids are per-job namespaces, so everything keyed
+    by them is bundled here rather than on the node: two tenants both using
+    page 5 or tid 2 must never collide.  The bundle also carries the job's
+    :class:`RunStats`, which is how per-tenant attribution of node-side
+    service work happens structurally.
+    """
+
+    __slots__ = (
+        "tenant", "run_stats", "pagestore", "splitmap", "llsc", "memory",
+        "engine", "threads", "inflight", "push_gates", "finished",
+        "page_retry_stats", "merge_retry_stats", "syscall_retry_stats",
+        "evac_retry_stats",
+    )
+
+    def __init__(self, node: "NodeRuntime", tenant: int, run_stats: RunStats):
+        config = node.config
+        self.tenant = tenant
+        self.run_stats = run_stats
+        # Eager rows mirror Dispatcher.register: every tenant's RunStats
+        # lists the node-side services even at zero requests.
+        for name in (
+            NodeCoherenceService.name,
+            NodeSplitTableService.name,
+            NodeControlService.name,
+        ):
+            run_stats.service(name)
+        if node.rpc_retry is not None:
+            self.page_retry_stats = run_stats.service(NodeCoherenceService.name)
+            self.merge_retry_stats = run_stats.service(NodeSplitTableService.name)
+            self.syscall_retry_stats = run_stats.service("node.syscall")
+            self.evac_retry_stats = run_stats.service(NodeControlService.name)
+        else:
+            self.page_retry_stats = None
+            self.merge_retry_stats = None
+            self.syscall_retry_stats = None
+            self.evac_retry_stats = None
+        self.pagestore = PageStore()
+        self.splitmap = SplitMap()
+        self.llsc = LLSCTable()
+        if config.pure_qemu:
+            self.memory = LocalMemory(self.pagestore, self.llsc)
+        else:
+            self.memory = DSMMemory(self.pagestore, self.splitmap, self.llsc)
+        self.engine = ExecutionEngine(
+            self.memory,
+            timing=EngineTiming(
+                cpi_dbt=config.effective_cpi_dbt,
+                cpi_interp=config.cpi_interp,
+                translate_per_insn=config.translate_per_insn,
+            ),
+            mode=config.mode,
+            max_block_insns=config.max_block_insns,
+        )
+        self.threads: dict[int, GuestThread] = {}
+        self.inflight: dict[int, tuple] = {}  # page -> (event, write)
+        #: page -> event fired when a forwarded page (§5.2) is installed;
+        #: lets an outstanding read fault complete as soon as the push lands.
+        self.push_gates: dict[int, object] = {}
+        #: The job finished (tenant-scoped Shutdown landed): threads of this
+        #: bundle are dropped at their next scheduling point.
+        self.finished = False
 
 
 class NodeRuntime:
@@ -105,7 +180,12 @@ class NodeRuntime:
         self.on_failure = on_failure or (lambda exc: (_ for _ in ()).throw(exc))
 
         self.endpoint = Endpoint(sim, fabric, node_id)
-        self.dispatcher = Dispatcher(sim, run_stats, endpoint=self.endpoint)
+        # Node-side services serve every tenant on this node; billing follows
+        # the frame's tenant to that job's RunStats via the resolver.
+        self.dispatcher = Dispatcher(
+            sim, run_stats, endpoint=self.endpoint,
+            stats_resolver=lambda msg: self.tenants[msg.tenant].run_stats,
+        )
         for service in (
             NodeCoherenceService(self),
             NodeSplitTableService(self),
@@ -116,7 +196,7 @@ class NodeRuntime:
         nshards = config.master_shards
         self.endpoint.set_router(
             lambda msg: "comm" if msg.kind in command_kinds
-            else ("mgr", msg.src, _master_shard_key(msg, nshards))
+            else ("mgr", msg.tenant, msg.src, _master_shard_key(msg, nshards))
         )
         # Loss recovery for node-issued RPCs (page requests, merge requests,
         # delegated syscalls).  Retransmit traffic is attributed to the
@@ -124,41 +204,13 @@ class NodeRuntime:
         # bindings exist only when retries are armed, so default runs create
         # no extra RunStats rows ("node.syscall" is not a registered service).
         self.rpc_retry = config.retry_policy()
-        if self.rpc_retry is not None:
-            self._page_retry_stats = run_stats.service(NodeCoherenceService.name)
-            self._merge_retry_stats = run_stats.service(NodeSplitTableService.name)
-            self._syscall_retry_stats = run_stats.service("node.syscall")
-            self._evac_retry_stats = run_stats.service(NodeControlService.name)
-        else:
-            self._page_retry_stats = None
-            self._merge_retry_stats = None
-            self._syscall_retry_stats = None
-            self._evac_retry_stats = None
-        self.pagestore = PageStore()
-        self.splitmap = SplitMap()
-        self.llsc = LLSCTable()
-        if config.pure_qemu:
-            self.memory = LocalMemory(self.pagestore, self.llsc)
-        else:
-            self.memory = DSMMemory(self.pagestore, self.splitmap, self.llsc)
-        self.engine = ExecutionEngine(
-            self.memory,
-            timing=EngineTiming(
-                cpi_dbt=config.effective_cpi_dbt,
-                cpi_interp=config.cpi_interp,
-                translate_per_insn=config.translate_per_insn,
-            ),
-            mode=config.mode,
-            max_block_insns=config.max_block_insns,
-        )
         self.n_cores = config.cores_of(node_id)
         self.ghz = config.ghz_of(node_id)
-        self.runqueue: SimQueue = SimQueue(sim)
-        self.threads: dict[int, GuestThread] = {}
-        self._inflight: dict[int, tuple] = {}  # page -> (event, write)
-        #: page -> event fired when a forwarded page (§5.2) is installed;
-        #: lets an outstanding read fault complete as soon as the push lands.
-        self._push_gates: dict[int, object] = {}
+        #: Tenant bundles; tenant 0 exists from birth so a bare node is
+        #: immediately usable the way the single-job node always was.
+        self.tenants: dict[int, NodeTenant] = {}
+        self.add_tenant(0, run_stats)
+        self.runqueue = FairRunQueue(sim)
         self.shutdown = False
         #: Failure-domain state (docs/PROTOCOL.md "Failure domains"):
         #: ``crashed`` is fail-stop (set by FaultPlan.crash schedules);
@@ -170,6 +222,47 @@ class NodeRuntime:
         self._drain_sent = False
         #: Set for the pure-QEMU baseline: syscalls short-circuit locally.
         self.local_kernel: Optional["LocalKernel"] = None
+
+    # -- tenancy ------------------------------------------------------------
+
+    def add_tenant(self, tenant: int, run_stats: RunStats) -> NodeTenant:
+        """Provision a job's private slice of this node (idempotent per id)."""
+        if tenant in self.tenants:
+            raise ProtocolError(f"node {self.node_id}: tenant {tenant} already exists")
+        bundle = NodeTenant(self, tenant, run_stats)
+        self.tenants[tenant] = bundle
+        return bundle
+
+    def bundle(self, tenant: int) -> NodeTenant:
+        return self.tenants[tenant]
+
+    # Single-tenant views: the node's original attribute surface delegates
+    # to tenant 0, so the pure-QEMU local kernel, tests and tooling written
+    # against the one-job node keep reading the same names.
+
+    @property
+    def pagestore(self) -> PageStore:
+        return self.tenants[0].pagestore
+
+    @property
+    def splitmap(self) -> SplitMap:
+        return self.tenants[0].splitmap
+
+    @property
+    def llsc(self) -> LLSCTable:
+        return self.tenants[0].llsc
+
+    @property
+    def memory(self):
+        return self.tenants[0].memory
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        return self.tenants[0].engine
+
+    @property
+    def threads(self) -> dict[int, GuestThread]:
+        return self.tenants[0].threads
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -213,13 +306,14 @@ class NodeRuntime:
 
     # -- thread management ------------------------------------------------------
 
-    def add_thread(self, cpu: CPUState) -> GuestThread:
-        ts = self.run_stats.thread(cpu.tid)
+    def add_thread(self, cpu: CPUState, tenant: int = 0) -> GuestThread:
+        bundle = self.tenants[tenant]
+        ts = bundle.run_stats.thread(cpu.tid)
         ts.node = self.node_id
         if ts.quanta == 0:  # fresh thread (not a live migration)
             ts.created_ns = self.sim.now
-        th = GuestThread(cpu, ts)
-        self.threads[cpu.tid] = th
+        th = GuestThread(cpu, ts, tenant)
+        bundle.threads[cpu.tid] = th
         self.trace.emit("thread", self.node_id, "start", tid=cpu.tid)
         self._requeue(th)
         return th
@@ -237,8 +331,8 @@ class NodeRuntime:
         th.enqueued_at = self.sim.now
         self.runqueue.put(th)
 
-    def _wake_thread(self, tid: int, retval: int) -> None:
-        th = self.threads.get(tid)
+    def _wake_thread(self, tid: int, retval: int, tenant: int = 0) -> None:
+        th = self.tenants[tenant].threads.get(tid)
         if th is None or th.state is not GuestThreadState.BLOCKED:
             raise ProtocolError(f"node {self.node_id}: futex wake for non-blocked tid {tid}")
         if th.blocked_at is not None:
@@ -259,23 +353,26 @@ class NodeRuntime:
         the master's failure-domain service re-spawns it on a usable node.
         """
         cpu = th.cpu
+        bundle = self.tenants[th.tenant]
         th.state = GuestThreadState.EXITED
         cpu.halted = True
-        self.threads.pop(cpu.tid, None)
+        bundle.threads.pop(cpu.tid, None)
         self.trace.emit("thread", self.node_id, "evacuating", tid=cpu.tid)
         self._evacuating += 1
         self.sim.spawn(
-            self._guarded(self._evacuate_rpc(cpu)),
+            self._guarded(self._evacuate_rpc(cpu, bundle)),
             name=f"evac@{self.node_id}",
         )
 
-    def _evacuate_rpc(self, cpu: CPUState):
+    def _evacuate_rpc(self, cpu: CPUState, bundle: NodeTenant):
         with attribute_timeouts(NodeControlService.name):
             yield self.endpoint.request(
                 self.master_id,
-                EvacuateThread(tid=cpu.tid, context=cpu.snapshot()),
+                EvacuateThread(
+                    tid=cpu.tid, context=cpu.snapshot(), tenant=bundle.tenant
+                ),
                 timeout_ns=self.config.rpc_timeout_ns,
-                retry=self.rpc_retry, stats=self._evac_retry_stats,
+                retry=self.rpc_retry, stats=bundle.evac_retry_stats,
             )
         self._evacuating -= 1
         self._check_drain_complete()
@@ -292,7 +389,7 @@ class NodeRuntime:
             not self.draining
             or self._drain_sent
             or self.shutdown
-            or self.threads
+            or any(b.threads for b in self.tenants.values())
             or self._evacuating
         ):
             return
@@ -303,13 +400,13 @@ class NodeRuntime:
         )
 
     def _send_drain_complete(self):
-        done = DrainComplete()
+        done = DrainComplete()  # drains are single-job (tenant 0) territory
         if self.config.rpc_timeout_ns is not None:
             with attribute_timeouts(NodeControlService.name):
                 yield self.endpoint.request(
                     self.master_id, done,
                     timeout_ns=self.config.rpc_timeout_ns,
-                    retry=self.rpc_retry, stats=self._evac_retry_stats,
+                    retry=self.rpc_retry, stats=self.tenants[0].evac_retry_stats,
                 )
         else:  # pragma: no cover - drains require armed timeouts in practice
             self.endpoint.send(self.master_id, done)
@@ -335,8 +432,9 @@ class NodeRuntime:
     def _run_turn(self, th: GuestThread):
         cfg = self.config
         cpu = th.cpu
-        while not self.shutdown:
-            stop = self.engine.run_quantum(cpu, cfg.quantum_cycles)
+        bundle = self.tenants[th.tenant]
+        while not self.shutdown and not bundle.finished:
+            stop = bundle.engine.run_quantum(cpu, cfg.quantum_cycles)
             ns = self._cycles_to_ns(stop.cycles)
             if ns:
                 yield self.sim.timeout(ns)
@@ -371,51 +469,60 @@ class NodeRuntime:
         t0 = self.sim.now
         yield self.sim.timeout(self._cycles_to_ns(cfg.page_fault_trap_cycles))
         if isinstance(stall, MergeStall):
-            yield from self._request_merge(stall.orig_page)
+            yield from self._request_merge(stall.orig_page, th.tenant)
         else:
-            yield from self.acquire_page(stall.page, stall.write, stall.offset, stall.size)
+            yield from self.acquire_page(
+                stall.page, stall.write, stall.offset, stall.size, tenant=th.tenant
+            )
         th.stats.pagefault_ns += self.sim.now - t0
         th.stats.page_faults += 1
         self._requeue(th)
 
-    def acquire_page(self, page: int, write: bool, offset: int = 0, size: int = 8):
+    def acquire_page(
+        self, page: int, write: bool, offset: int = 0, size: int = 8, tenant: int = 0
+    ):
         """Bring ``page`` in at (at least) the needed state, deduplicating
-        concurrent requests from threads on this node."""
+        concurrent requests from the tenant's threads on this node."""
         with attribute_timeouts(NodeCoherenceService.name):
-            yield from self._acquire_page(page, write, offset, size)
+            yield from self._acquire_page(self.tenants[tenant], page, write, offset, size)
 
-    def _acquire_page(self, page: int, write: bool, offset: int, size: int):
-        store = self.pagestore
+    def _acquire_page(
+        self, bundle: NodeTenant, page: int, write: bool, offset: int, size: int
+    ):
+        store = bundle.pagestore
         while True:
             if store.has_write(page) or (not write and store.has_read(page)):
                 return
-            inflight = self._inflight.get(page)
+            inflight = bundle.inflight.get(page)
             if inflight is not None:
                 ev, in_write = inflight
                 yield ev
                 continue  # re-check: the finished request may not suffice
             ev = self.sim.event()
-            self._inflight[page] = (ev, write)
+            bundle.inflight[page] = (ev, write)
             try:
                 req = self.endpoint.request(
                     self.master_id,
-                    PageRequest(page=page, write=write, offset=offset, size=size),
+                    PageRequest(
+                        page=page, write=write, offset=offset, size=size,
+                        tenant=bundle.tenant,
+                    ),
                     timeout_ns=self.config.rpc_timeout_ns,
-                    retry=self.rpc_retry, stats=self._page_retry_stats,
+                    retry=self.rpc_retry, stats=bundle.page_retry_stats,
                 )
                 if write:
                     reply = yield req
                 else:
                     # A forwarded page may land while the demand request is in
                     # flight; whichever arrives first completes the fault.
-                    gate = self._push_gates.get(page)
+                    gate = bundle.push_gates.get(page)
                     if gate is None:
-                        gate = self._push_gates[page] = self.sim.event()
+                        gate = bundle.push_gates[page] = self.sim.event()
                     which, value = yield self.sim.any_of([req, gate])
                     reply = value if which == 0 else None
             finally:
-                del self._inflight[page]
-                self._push_gates.pop(page, None)
+                del bundle.inflight[page]
+                bundle.push_gates.pop(page, None)
                 ev.succeed()
             if reply is None or reply.ack_only:
                 # A push installed the page (or will momentarily); if it was
@@ -428,12 +535,13 @@ class NodeRuntime:
             store.install(page, reply.data, MSIState.MODIFIED if reply.write else MSIState.SHARED)
             return
 
-    def _request_merge(self, orig_page: int):
+    def _request_merge(self, orig_page: int, tenant: int = 0):
+        bundle = self.tenants[tenant]
         with attribute_timeouts(NodeSplitTableService.name):
             yield self.endpoint.request(
-                self.master_id, MergeRequest(page=orig_page),
+                self.master_id, MergeRequest(page=orig_page, tenant=tenant),
                 timeout_ns=self.config.rpc_timeout_ns,
-                retry=self.rpc_retry, stats=self._merge_retry_stats,
+                retry=self.rpc_retry, stats=bundle.merge_retry_stats,
             )
 
     # -- syscalls ----------------------------------------------------------------
@@ -441,6 +549,7 @@ class NodeRuntime:
     def _syscall_handler(self, th: GuestThread):
         cfg = self.config
         cpu = th.cpu
+        bundle = self.tenants[th.tenant]
         t0 = self.sim.now
         yield self.sim.timeout(self._cycles_to_ns(cfg.syscall_trap_cycles))
         sysno = cpu.regs[A7]
@@ -450,7 +559,7 @@ class NodeRuntime:
         if not is_global(sysno):
             yield from self._local_syscall(th, sysno, args)
             th.stats.syscall_ns += self.sim.now - t0
-            self.run_stats.protocol.local_syscalls += 1
+            bundle.run_stats.protocol.local_syscalls += 1
             self._requeue(th)
             return
 
@@ -459,20 +568,23 @@ class NodeRuntime:
             th.stats.syscall_ns += self.sim.now - t0
             return
 
-        self.run_stats.protocol.delegated_syscalls += 1
+        bundle.run_stats.protocol.delegated_syscalls += 1
         with attribute_timeouts("node.syscall"):
             reply = yield self.endpoint.request(
                 self.master_id,
-                SyscallRequest(tid=cpu.tid, sysno=sysno, args=args, context=cpu.snapshot()),
+                SyscallRequest(
+                    tid=cpu.tid, sysno=sysno, args=args, context=cpu.snapshot(),
+                    tenant=th.tenant,
+                ),
                 timeout_ns=self.config.rpc_timeout_ns,
-                retry=self.rpc_retry, stats=self._syscall_retry_stats,
+                retry=self.rpc_retry, stats=bundle.syscall_retry_stats,
             )
         th.stats.syscall_ns += self.sim.now - t0
         if reply.exited:
             th.state = GuestThreadState.EXITED
             th.stats.finished_ns = self.sim.now
             cpu.halted = True
-            self.threads.pop(cpu.tid, None)
+            bundle.threads.pop(cpu.tid, None)
             self.trace.emit("thread", self.node_id, "exit", tid=cpu.tid)
             self._check_drain_complete()
             return
@@ -486,7 +598,7 @@ class NodeRuntime:
             # forget the local incarnation — no exit bookkeeping.
             th.state = GuestThreadState.EXITED
             cpu.halted = True
-            self.threads.pop(cpu.tid, None)
+            bundle.threads.pop(cpu.tid, None)
             self.trace.emit("thread", self.node_id, "migrated away", tid=cpu.tid)
             self._check_drain_complete()
             return
@@ -497,9 +609,10 @@ class NodeRuntime:
         """Paper §4.3: local syscalls are served without a master round trip."""
         cpu = th.cpu
         now = self.sim.now
+        tenant = th.tenant
         if sysno == SYS.NANOSLEEP:
-            sec = yield from self._load_guest_local(args[0], 8)
-            nsec = yield from self._load_guest_local(args[0] + 8, 8)
+            sec = yield from self._load_guest_local(args[0], 8, tenant)
+            nsec = yield from self._load_guest_local(args[0] + 8, 8, tenant)
             yield self.sim.timeout(sec * 1_000_000_000 + nsec)
             cpu.regs[A0] = 0
         elif sysno == SYS.GETTID:
@@ -512,38 +625,44 @@ class NodeRuntime:
             data = (now // 1_000_000_000).to_bytes(8, "little") + (
                 now % 1_000_000_000
             ).to_bytes(8, "little")
-            yield from self._store_guest_local(args[1], data)
+            yield from self._store_guest_local(args[1], data, tenant)
             cpu.regs[A0] = 0
         elif sysno == SYS.GETTIMEOFDAY:
             data = (now // 1_000_000_000).to_bytes(8, "little") + (
                 (now % 1_000_000_000) // 1000
             ).to_bytes(8, "little")
-            yield from self._store_guest_local(args[0], data)
+            yield from self._store_guest_local(args[0], data, tenant)
             cpu.regs[A0] = 0
         else:  # pragma: no cover - classify() keeps this unreachable
             raise ProtocolError(f"syscall {sysno} not handled locally")
         return
         yield  # pragma: no cover - generator protocol
 
-    def _load_guest_local(self, addr: int, size: int):
-        """Guest-memory read through the node's memory (acquiring pages)."""
+    def _load_guest_local(self, addr: int, size: int, tenant: int = 0):
+        """Guest-memory read through the tenant's memory (acquiring pages)."""
+        memory = self.tenants[tenant].memory
         while True:
             try:
-                return self.memory.load(addr, size, False)
+                return memory.load(addr, size, False)
             except PageStall as stall:
-                yield from self.acquire_page(stall.page, stall.write, stall.offset)
+                yield from self.acquire_page(
+                    stall.page, stall.write, stall.offset, tenant=tenant
+                )
 
-    def _store_guest_local(self, addr: int, data: bytes):
-        """8-byte-chunk store through the node's memory (acquiring pages)."""
+    def _store_guest_local(self, addr: int, data: bytes, tenant: int = 0):
+        """8-byte-chunk store through the tenant's memory (acquiring pages)."""
+        memory = self.tenants[tenant].memory
         for k in range(0, len(data), 8):
             chunk = data[k : k + 8]
             value = int.from_bytes(chunk, "little")
             while True:
                 try:
-                    self.memory.store(addr + k, len(chunk), value)
+                    memory.store(addr + k, len(chunk), value)
                     break
                 except PageStall as stall:
-                    yield from self.acquire_page(stall.page, stall.write, stall.offset)
+                    yield from self.acquire_page(
+                        stall.page, stall.write, stall.offset, tenant=tenant
+                    )
 
     # -- communicator ------------------------------------------------------------
 

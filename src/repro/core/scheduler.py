@@ -23,15 +23,16 @@ with its reason so the breakdown tables can attribute placement decisions.
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import TYPE_CHECKING, Optional, Sequence
+from collections import Counter, deque
+from typing import TYPE_CHECKING, Any, Deque, Optional, Sequence
 
 from repro.errors import ConfigError
+from repro.sim.engine import Event, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.health import ClusterHealthView
 
-__all__ = ["ThreadPlacer"]
+__all__ = ["ThreadPlacer", "FairRunQueue"]
 
 
 class ThreadPlacer:
@@ -42,6 +43,7 @@ class ThreadPlacer:
         *,
         health: Optional["ClusterHealthView"] = None,
         fallback: Optional[int] = None,
+        rr_offset: int = 0,
     ):
         if not candidates:
             raise ConfigError("scheduler needs at least one candidate node")
@@ -51,7 +53,10 @@ class ThreadPlacer:
         self.candidates = list(candidates)
         self.health = health
         self.fallback = fallback
-        self._rr = 0
+        # Each concurrent job gets its own placer; staggering the cursors
+        # (job k starts at k) interleaves tenants across the fleet instead
+        # of piling every job's first worker onto the same node.
+        self._rr = rr_offset
         self.placements: list[tuple[Optional[int], int]] = []  # (group, node)
         #: (node, reason) -> times that node was skipped for that reason
         #: ("down" / "draining" / "suspect") plus ("fallback" entries when
@@ -128,3 +133,59 @@ class ThreadPlacer:
             f"n{node}:{reason}": count
             for (node, reason), count in sorted(self.skips.items())
         }
+
+
+class FairRunQueue:
+    """A node's core feed with tenant-fair arbitration.
+
+    Drop-in for the plain :class:`~repro.sim.sync.SimQueue` the cores used
+    to block on: FIFO within a tenant, round-robin *across* tenants whenever
+    threads of more than one tenant are waiting, so one job's thread storm
+    cannot starve another job's runnable threads on a shared node.
+
+    With at most one tenant class queued — every single-job run, and any
+    sentinel (``None``) shutdown marker — each pick is the FIFO head, which
+    makes the queue event-for-event identical to the SimQueue it replaces.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._last_tenant = -1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._pick())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek_all(self) -> list[Any]:
+        return list(self._items)
+
+    def _pick(self) -> Any:
+        items = self._items
+        tenants = {th.tenant for th in items if th is not None}
+        if len(tenants) <= 1 or items[0] is None:
+            # Single tenant class (or a shutdown sentinel at the head):
+            # plain FIFO, bit-identical to the pre-tenancy queue.
+            return items.popleft()
+        eligible = sorted(t for t in tenants if t > self._last_tenant)
+        tenant = eligible[0] if eligible else min(tenants)
+        self._last_tenant = tenant
+        for i, th in enumerate(items):
+            if th is not None and th.tenant == tenant:
+                del items[i]
+                return th
+        raise AssertionError("unreachable: chosen tenant vanished from queue")

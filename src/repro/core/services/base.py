@@ -117,9 +117,14 @@ class Dispatcher:
         run_stats: RunStats,
         shard: Optional[int] = None,
         endpoint=None,
+        stats_resolver=None,
     ):
         self.sim = sim
         self.run_stats = run_stats
+        #: Optional ``msg -> RunStats`` hook for dispatchers whose services
+        #: serve several tenants (the node-side ones): billing follows the
+        #: frame's tenant instead of the dispatcher's default RunStats.
+        self.stats_resolver = stats_resolver
         #: Master shard this dispatcher serves (``None`` for node-side
         #: dispatchers): served work is additionally billed to the service's
         #: per-shard breakdown so shard imbalance is visible.
@@ -195,7 +200,10 @@ class Dispatcher:
             raise ProtocolError(
                 f"no service registered for kind {msg.kind!r} (from node {msg.src})"
             )
-        stats = self.run_stats.service(service.name)
+        run_stats = (
+            self.run_stats if self.stats_resolver is None else self.stats_resolver(msg)
+        )
+        stats = run_stats.service(service.name)
         if msg.req_id and not self._first_delivery(msg.req_id):
             stats.duplicates += 1
             if self.endpoint is not None:

@@ -6,19 +6,24 @@ write-back / forwarded pages), the split-table client, and thread control
 (remote spawn, futex wake, shutdown).  Services keep a reference to their
 :class:`~repro.core.node.NodeRuntime` because the state they act on (page
 store, run queue, guest threads) is shared with the execution engine.
+
+Every handler resolves the frame's tenant bundle first: page stores, split
+tables and thread tables are per-job namespaces on a multi-tenant node, and
+a master command only ever touches the slice of the job that sent it.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.gthread import GuestThreadState
 from repro.dbt.cpu import CPUState
 from repro.mem.msi import MSIState
 from repro.mem.splitmap import SplitEntry
 from repro.net.messages import Ack, InvalidateAck, SpawnAck
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.node import NodeRuntime
+    from repro.core.node import NodeRuntime, NodeTenant
 
 __all__ = ["NodeCoherenceService", "NodeSplitTableService", "NodeControlService"]
 
@@ -33,6 +38,9 @@ class _NodeService:
         self.node = node
         self.endpoint = node.endpoint
 
+    def _bundle(self, msg) -> "NodeTenant":
+        return self.node.bundle(msg.tenant)
+
     def handle(self, msg):
         yield from getattr(self, "_on_" + msg.kind)(msg)
 
@@ -44,31 +52,31 @@ class NodeCoherenceService(_NodeService):
     handled_kinds = frozenset({"invalidate", "write_back", "page_push"})
 
     def _on_invalidate(self, msg):
-        node = self.node
+        bundle = self._bundle(msg)
         data = None
-        if msg.page in node.pagestore:
-            if node.pagestore.state(msg.page) is MSIState.MODIFIED:
-                data = node.pagestore.snapshot(msg.page)
-            node.pagestore.drop(msg.page)
-        node.llsc.kill_page(msg.page)
-        node.engine.cache.invalidate_page(msg.page)
+        if msg.page in bundle.pagestore:
+            if bundle.pagestore.state(msg.page) is MSIState.MODIFIED:
+                data = bundle.pagestore.snapshot(msg.page)
+            bundle.pagestore.drop(msg.page)
+        bundle.llsc.kill_page(msg.page)
+        bundle.engine.cache.invalidate_page(msg.page)
         self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
         return
         yield  # pragma: no cover - generator protocol
 
     def _on_write_back(self, msg):
-        node = self.node
-        data = node.pagestore.snapshot(msg.page)
-        node.pagestore.set_state(msg.page, MSIState.SHARED)
+        bundle = self._bundle(msg)
+        data = bundle.pagestore.snapshot(msg.page)
+        bundle.pagestore.set_state(msg.page, MSIState.SHARED)
         self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
         return
         yield  # pragma: no cover - generator protocol
 
     def _on_page_push(self, msg):
-        node = self.node
-        if node.pagestore.state(msg.page) is MSIState.INVALID:
-            node.pagestore.install(msg.page, msg.data, MSIState.SHARED)
-            gate = node._push_gates.pop(msg.page, None)
+        bundle = self._bundle(msg)
+        if bundle.pagestore.state(msg.page) is MSIState.INVALID:
+            bundle.pagestore.install(msg.page, msg.data, MSIState.SHARED)
+            gate = bundle.push_gates.pop(msg.page, None)
             if gate is not None and not gate.triggered:
                 gate.succeed()
         return
@@ -82,28 +90,30 @@ class NodeSplitTableService(_NodeService):
     handled_kinds = frozenset({"split_table_update"})
 
     def _on_split_table_update(self, msg):
-        self._apply_split_table(msg.entries)
+        self._apply_split_table(self._bundle(msg), msg.entries)
         self.endpoint.reply(msg, Ack())
         return
         yield  # pragma: no cover - generator protocol
 
-    def _apply_split_table(self, entries: tuple[SplitEntry, ...]) -> None:
+    @staticmethod
+    def _apply_split_table(
+        bundle: "NodeTenant", entries: tuple[SplitEntry, ...]
+    ) -> None:
         """Install the master's full split table, dropping stale copies."""
-        node = self.node
         new = {e.orig_page: e for e in entries}
-        old = {e.orig_page: e for e in node.splitmap.entries()}
+        old = {e.orig_page: e for e in bundle.splitmap.entries()}
         for orig, entry in old.items():
             if orig not in new:
                 # merged back: local shadow copies are stale
-                node.splitmap.remove(orig)
+                bundle.splitmap.remove(orig)
                 for shadow in entry.shadow_pages:
-                    node.pagestore.drop(shadow)
-                    node.llsc.kill_page(shadow)
+                    bundle.pagestore.drop(shadow)
+                    bundle.llsc.kill_page(shadow)
         for orig, entry in new.items():
             if orig not in old:
-                node.splitmap.install(entry)
-                node.pagestore.drop(orig)
-                node.llsc.kill_page(orig)
+                bundle.splitmap.install(entry)
+                bundle.pagestore.drop(orig)
+                bundle.llsc.kill_page(orig)
 
 
 class NodeControlService(_NodeService):
@@ -116,13 +126,13 @@ class NodeControlService(_NodeService):
 
     def _on_spawn_thread(self, msg):
         cpu = CPUState.from_snapshot(msg.context)
-        self.node.add_thread(cpu)
+        self.node.add_thread(cpu, tenant=msg.tenant)
         self.endpoint.reply(msg, SpawnAck(tid=msg.tid))
         return
         yield  # pragma: no cover - generator protocol
 
     def _on_futex_wake(self, msg):
-        self.node._wake_thread(msg.tid, msg.retval)
+        self.node._wake_thread(msg.tid, msg.retval, tenant=msg.tenant)
         # Wakes are fire-and-forget by default; with RPC timeouts armed the
         # master sends them as acked requests (see FutexService.wake) and
         # expects an answer.  Gating on the same config keeps default-mode
@@ -145,10 +155,20 @@ class NodeControlService(_NodeService):
         yield  # pragma: no cover - generator protocol
 
     def _on_shutdown(self, msg):
-        node = self.node
-        node.shutdown = True
-        for _ in range(node.n_cores):
-            node.runqueue.put(None)
+        # Tenant-scoped: the sending job is over, but the node — and any
+        # other job running on it — lives on.  Threads of the finished
+        # tenant are marked exited here and dropped by the cores at their
+        # next scheduling point (via the bundle's finished flag); no
+        # sentinel goes into the run queue, so the cores survive to serve
+        # the remaining tenants.  (In a single-job run the master's
+        # ``done`` fires before this frame is even delivered, so the old
+        # whole-node shutdown was already dead code on that path.)
+        bundle = self._bundle(msg)
+        bundle.finished = True
+        for th in list(bundle.threads.values()):
+            th.state = GuestThreadState.EXITED
+            th.cpu.halted = True
+        bundle.threads.clear()
         self.endpoint.reply(msg, Ack())
         return
         yield  # pragma: no cover - generator protocol

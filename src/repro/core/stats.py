@@ -220,6 +220,10 @@ class RunStats:
     wall_ns: int = 0  # virtual time from program start to exit
     insns_executed: int = 0
     insns_translated: int = 0
+    #: Job the counters belong to; 0 for single-job runs.  Every admitted
+    #: job gets its own RunStats, so per-tenant attribution is structural
+    #: (separate objects), not post-hoc filtering.
+    tenant: int = 0
 
     def thread(self, tid: int) -> ThreadStats:
         if tid not in self.threads:

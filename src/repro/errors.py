@@ -62,3 +62,7 @@ class ProtocolError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid DQEMU configuration."""
+
+
+class AdmissionError(ReproError):
+    """The cluster's job admission queue refused a submission."""

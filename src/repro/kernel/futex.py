@@ -28,9 +28,16 @@ class Waiter:
 
 
 class FutexTable:
-    """uaddr → FIFO of waiting threads."""
+    """uaddr → FIFO of waiting threads.
 
-    def __init__(self) -> None:
+    ``tenant`` labels which job's futex namespace this table is: every
+    admitted job gets its own table (built into its own ``SystemState``),
+    so identical uaddrs in different guests can never wake each other —
+    isolation is structural, not filtered.
+    """
+
+    def __init__(self, tenant: int = 0) -> None:
+        self.tenant = tenant
         self._queues: dict[int, Deque[Waiter]] = {}
         self.total_waits = 0
         self.total_wakes = 0

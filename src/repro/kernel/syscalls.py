@@ -75,12 +75,18 @@ class SyscallResult:
 
 
 class SystemState:
-    """Authoritative cluster-wide system state, kept on the master."""
+    """Authoritative cluster-wide system state, kept on the master.
+
+    One per admitted job: the VFS, futex namespace, thread table and memory
+    map are the job's alone (``tenant`` labels which), which is what makes
+    per-tenant isolation structural on a shared fleet.
+    """
 
     def __init__(self, *, brk_start: int, stdin: bytes = b"",
-                 clock_ns: Callable[[], int] = lambda: 0):
+                 clock_ns: Callable[[], int] = lambda: 0, tenant: int = 0):
+        self.tenant = tenant
         self.vfs = VFS(stdin=stdin)
-        self.futexes = FutexTable()
+        self.futexes = FutexTable(tenant=tenant)
         self.threads = ThreadTable()
         self.mm = MemoryManager(brk_start=brk_start)
         self.clock_ns = clock_ns

@@ -38,6 +38,7 @@ __all__ = [
     "ShadowPageAllocator",
     "ShardedDirectoryView",
     "ShardedSplitView",
+    "TenantDirectoryView",
 ]
 
 
@@ -109,6 +110,44 @@ class ShardedDirectoryView:
     def check_invariants(self) -> None:
         for directory in self.shards:
             directory.check_invariants()
+
+
+class TenantDirectoryView:
+    """Tenant-keyed registry of per-job directory views.
+
+    A multi-tenant fleet runs one full shard-pool set *per admitted job* —
+    tenants share nodes and wires, never directory state.  This view maps a
+    tenant id to that job's merged :class:`ShardedDirectoryView`, giving
+    tests and debuggers one handle over the whole fleet's page ownership
+    without ever letting one tenant's queries observe another's partitions.
+    """
+
+    def __init__(self) -> None:
+        self._views: dict[int, ShardedDirectoryView] = {}
+
+    def add_tenant(self, tenant: int, directories: Iterable["Directory"]) -> None:
+        if tenant in self._views:
+            raise ConfigError(f"tenant {tenant} already registered")
+        self._views[tenant] = ShardedDirectoryView(directories)
+
+    def for_tenant(self, tenant: int) -> ShardedDirectoryView:
+        try:
+            return self._views[tenant]
+        except KeyError:
+            raise ConfigError(f"unknown tenant {tenant}") from None
+
+    def peek(self, tenant: int, page: int) -> "DirEntry":
+        return self.for_tenant(tenant).peek(page)
+
+    def owner(self, tenant: int, page: int) -> Optional[int]:
+        return self.for_tenant(tenant).owner(page)
+
+    def tenants(self) -> tuple[int, ...]:
+        return tuple(sorted(self._views))
+
+    def check_invariants(self) -> None:
+        for view in self._views.values():
+            view.check_invariants()
 
 
 class ShardedSplitView:

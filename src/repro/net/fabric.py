@@ -13,6 +13,7 @@ message has a ~55 µs round trip, matching §6.1.
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from typing import TYPE_CHECKING, Optional
 
@@ -77,6 +78,15 @@ class Fabric:
         self._uplink_free: dict[int, int] = {}
         self._downlink_free: dict[int, int] = {}
         self.stats = FabricStats()
+        #: Per-tenant traffic slices: every frame is recorded both in the
+        #: aggregate ``stats`` and in its tenant's slice, so each job's
+        #: ``RunResult.fabric`` is exact attribution, not an estimate.
+        self.tenant_stats: dict[int, FabricStats] = {}
+        # Request-id sequence for every endpoint attached to this fabric.
+        # Owning the counter here (instead of a module global) makes req ids
+        # — and the retry backoff jitter keyed on them — a function of the
+        # fleet alone, however many clusters the process builds.
+        self._req_seq = itertools.count(1)
         #: Injection counters, set by ``FaultInjector.attach``; ``None`` on a
         #: lossless (un-instrumented) fabric.
         self.fault_stats: Optional["FaultStats"] = None
@@ -104,6 +114,18 @@ class Fabric:
     @property
     def node_ids(self) -> list[int]:
         return sorted(self._endpoints)
+
+    def next_req_id(self) -> int:
+        """Allocate the next request id for a frame entering this fabric."""
+        return next(self._req_seq)
+
+    def stats_for(self, tenant: int) -> FabricStats:
+        """The tenant's traffic slice (created on first use)."""
+        try:
+            return self.tenant_stats[tenant]
+        except KeyError:
+            slice_ = self.tenant_stats[tenant] = FabricStats()
+            return slice_
 
     # -- transmission -------------------------------------------------------
 
@@ -136,6 +158,7 @@ class Fabric:
         if msg.src not in self._endpoints:
             raise NetworkError(f"message from unknown node {msg.src}")
         self.stats.record(msg)
+        self.stats_for(msg.tenant).record(msg)
         now = self.sim.now
         if msg.src == msg.dst:
             arrival = now + self.loopback_latency_ns

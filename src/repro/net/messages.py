@@ -10,8 +10,7 @@ paper measures (55 µs RTT).
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, ClassVar, Optional
 
 __all__ = [
@@ -40,35 +39,27 @@ __all__ = [
 
 HEADER_BYTES = 64
 
-_seq = itertools.count(1)
-
-
-def reset_req_seq(start: int = 1) -> None:
-    """Restart the request-id sequence (one shared counter per process).
-
-    ``Cluster.run`` calls this so req ids — and anything keyed on them, such
-    as retry backoff jitter — are a function of the run alone, not of how
-    many frames earlier runs in the same process happened to allocate.
-    Clusters never exchange frames, so cross-run uniqueness is not needed.
-    """
-    global _seq
-    _seq = itertools.count(start)
-
 
 @dataclass(kw_only=True)
 class Message:
     """Base protocol frame.
 
     ``src`` is stamped by the sending endpoint; ``req_id`` / ``in_reply_to``
-    implement RPC correlation.
+    implement RPC correlation.  ``req_id`` starts unassigned (0) and is
+    stamped from the owning :class:`~repro.net.fabric.Fabric`'s sequence the
+    first time the frame is transmitted — frames cloned for retransmission
+    keep their id so receivers can deduplicate.  ``tenant`` names the job the
+    frame belongs to (0 for single-job runs); it rides inside the fixed
+    64-byte header, so tagging adds no wire cost.
     """
 
     kind: ClassVar[str] = "message"
 
     src: int = -1
     dst: int = -1
-    req_id: int = field(default_factory=lambda: next(_seq))
+    req_id: int = 0
     in_reply_to: int = 0
+    tenant: int = 0
 
     def payload_bytes(self) -> int:
         return 0

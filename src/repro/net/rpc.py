@@ -149,6 +149,24 @@ class RpcStats:
             total.recovery_wait_ns += ch.recovery_wait_ns
         return total
 
+    def minus(self, base: "RpcStats") -> "RpcStats":
+        """Counter delta since ``base`` — a job's share of shared channels.
+
+        Channels are per node, not per tenant, so a job's RPC numbers are
+        the fleet totals between its admission and its finish; overlapping
+        jobs that retransmit on the same channel show up in each other's
+        window (a documented attribution caveat, not a bug).
+        """
+        return RpcStats(
+            dropped_replies=self.dropped_replies - base.dropped_replies,
+            duplicate_replies=self.duplicate_replies - base.duplicate_replies,
+            retransmits=self.retransmits - base.retransmits,
+            recoveries=self.recoveries - base.recoveries,
+            exhausted=self.exhausted - base.exhausted,
+            reply_replays=self.reply_replays - base.reply_replays,
+            recovery_wait_ns=self.recovery_wait_ns - base.recovery_wait_ns,
+        )
+
 
 @dataclass
 class _Call:
@@ -232,6 +250,8 @@ class RpcChannel:
             # completes, which is what issuing an RPC from a dead machine
             # looks like.  No timer is armed — dead nodes do not retransmit.
             return ev
+        # Stamp before registering: the pending table is keyed by req id.
+        self.endpoint.stamp(msg)
         self._pending[msg.req_id] = ev
         self.endpoint.transmit(dst, msg)
         if timeout_ns is not None:
@@ -361,8 +381,14 @@ class RpcChannel:
         self._reply_cache_enabled = True
 
     def reply(self, to: Message, msg: Message) -> None:
-        """Send ``msg`` as the reply correlated with request ``to``."""
+        """Send ``msg`` as the reply correlated with request ``to``.
+
+        The reply inherits the request's tenant, so per-tenant traffic
+        attribution holds on both halves of every RPC no matter which layer
+        built the reply frame.
+        """
         msg.in_reply_to = to.req_id
+        msg.tenant = to.tenant
         if self._reply_cache_enabled:
             cache = self._sent_replies
             cache[to.req_id] = msg

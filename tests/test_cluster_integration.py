@@ -82,13 +82,18 @@ class TestBasics:
         assert r.stdout == "hello\n"
         assert r.exit_code == 7
 
-    def test_cluster_single_use(self):
+    def test_cluster_is_reusable(self):
+        # A Cluster is a long-lived fleet: sequential runs are admitted as
+        # successive tenants on the same nodes and stay fully isolated.
         c = Cluster(1)
-        c.run(assemble(HELLO), max_virtual_ms=100)
-        from repro.errors import ConfigError
-
-        with pytest.raises(ConfigError, match="single-use"):
-            c.run(assemble(HELLO))
+        first = c.run(assemble(HELLO), max_virtual_ms=100)
+        second = c.run(assemble(HELLO), max_virtual_ms=100)
+        assert (first.exit_code, first.stdout) == (7, "hello\n")
+        assert (second.exit_code, second.stdout) == (7, "hello\n")
+        assert first.tenant == 0 and second.tenant == 1
+        # Each result's virtual_ns is job-relative, so equal workloads on a
+        # warm fleet report comparable durations.
+        assert second.virtual_ns > 0
 
     def test_qemu_baseline_rejects_slaves(self):
         from repro.errors import ConfigError

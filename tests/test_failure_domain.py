@@ -104,6 +104,65 @@ class TestHealthAwarePlacer:
         assert p.place(hint_group=0) == 1
         assert p.place(hint_group=1) == 3
 
+    def test_hinted_group_rehomes_deterministically_when_home_down(self):
+        # Group 1's home with a healthy pool [1, 2, 3] is node 2.  With the
+        # home failed, every placement of the group lands on the *same*
+        # replacement node — locality degrades, determinism doesn't.
+        view, _ = make_view()
+        p = ThreadPlacer("hint", [1, 2, 3], health=view, fallback=0)
+        assert p.place(hint_group=1) == 2  # healthy home
+        view.mark_failed(2)
+        rehomed = [p.place(hint_group=1) for _ in range(4)]
+        assert rehomed == [3, 3, 3, 3]  # pool [1, 3], group 1 -> index 1
+        assert p.skip_counts()["n2:down"] == 4
+        # A sibling group keeps its own (deterministic) re-homed node too.
+        assert p.place(hint_group=0) == 1
+
+    def test_hinted_group_rehomes_when_home_draining(self):
+        view, _ = make_view()
+        p = ThreadPlacer("hint", [1, 2], health=view, fallback=0)
+        assert p.place(hint_group=0) == 1
+        view.mark_draining(1)
+        assert [p.place(hint_group=0) for _ in range(3)] == [2, 2, 2]
+        assert p.skip_counts() == {"n1:draining": 3}
+
+    def test_hinted_group_falls_back_when_every_candidate_unusable(self):
+        view, _ = make_view()
+        p = ThreadPlacer("hint", [1, 2], health=view, fallback=0)
+        view.mark_failed(1)
+        view.mark_draining(2)
+        assert p.place(hint_group=5) == 0
+        skips = p.skip_counts()
+        assert skips["n1:down"] == 1
+        assert skips["n2:draining"] == 1
+        assert skips["n0:fallback"] == 1
+        assert p.placements == [(5, 0)]
+
+    def test_hinted_group_returns_home_after_tracker_heals(self):
+        # Tracker-driven DOWN (unlike a latched failure) heals; the group
+        # resumes its original home once the peer answers again.
+        view, tracker = make_view(suspect_after=1, down_after=2)
+        p = ThreadPlacer("hint", [1, 2], health=view, fallback=0)
+        tracker.retransmitted(2)
+        tracker.retransmitted(2)
+        assert p.place(hint_group=1) == 1  # re-homed while node 2 is down
+        tracker.heard_from(2)
+        assert p.place(hint_group=1) == 2  # home again
+
+    def test_unhinted_threads_round_robin_over_filtered_pool(self):
+        view, _ = make_view()
+        p = ThreadPlacer("hint", [1, 2, 3], health=view, fallback=0)
+        view.mark_draining(2)
+        assert [p.place() for _ in range(4)] == [1, 3, 1, 3]
+
+    def test_rr_offset_staggers_tenant_cursors(self):
+        # Concurrent jobs get placers with staggered cursors so their first
+        # workers interleave across the fleet instead of stacking on node 1.
+        p0 = ThreadPlacer("round_robin", [1, 2, 3], rr_offset=0)
+        p1 = ThreadPlacer("round_robin", [1, 2, 3], rr_offset=1)
+        assert [p0.place() for _ in range(3)] == [1, 2, 3]
+        assert [p1.place() for _ in range(3)] == [2, 3, 1]
+
 
 # -- latched cluster view over the transient tracker ---------------------------
 

@@ -336,6 +336,7 @@ class TestDispatcherReplayDedup:
         d = Dispatcher(sim, stats)
         svc = d.register(Once())
         msg = PageRequest(page=1)
+        msg.req_id = 7  # as stamped by the owning fabric at first transmit
         sim.spawn(d.dispatch(msg))
         sim.spawn(d.dispatch(clone_frame(msg)))  # replayed copy, same req_id
         sim.run()

@@ -1,0 +1,264 @@
+"""Multi-tenant job admission: concurrent guests sharing one fleet.
+
+The tentpole contract: a long-lived :class:`Cluster` admits jobs via
+``submit``/``join``; concurrent tenants share the nodes but keep fully
+isolated address spaces, futex namespaces, thread tables, and stats — so
+every job's exit code and stdout are identical to what a solo run of the
+same program produces on a fresh cluster.
+"""
+
+import pytest
+
+from repro import AdmissionError, Cluster, DQEMUConfig, JobState, assemble
+from repro.core.jobs import Job, JobManager
+from repro.core.scheduler import FairRunQueue
+from repro.errors import ConfigError
+from repro.mem.directory import Directory
+from repro.mem.sharding import TenantDirectoryView
+from repro.sim import Simulator
+from repro.workloads import blackscholes, mutex_bench, x264
+
+
+def tagged_program(tag: str, exit_code: int):
+    """A tiny guest printing ``tag`` and exiting with ``exit_code``."""
+    return assemble(f"""
+_start:
+    la a1, msg
+    li a0, 1
+    li a2, {len(tag) + 1}
+    li a7, 64
+    ecall
+    li a0, {exit_code}
+    li a7, 94
+    ecall
+.data
+msg: .asciz "{tag}\\n"
+""")
+
+
+MULTI_CFG = DQEMUConfig(max_concurrent_jobs=3, admission_queue_depth=16)
+
+
+class TestConcurrentIsolation:
+    def test_three_concurrent_jobs_isolated_output(self):
+        cluster = Cluster(2, MULTI_CFG)
+        jobs = [
+            cluster.submit(tagged_program(f"guest{i}", 10 + i), name=f"g{i}")
+            for i in range(3)
+        ]
+        results = cluster.join(jobs)
+        for i, res in enumerate(results):
+            assert res.exit_code == 10 + i
+            assert res.stdout == f"guest{i}\n"
+            assert res.tenant == i
+            assert res.stats.tenant == i
+
+    def test_mixed_workloads_match_solo_runs(self):
+        # The acceptance bar: >= 3 concurrent mixed-workload programs on one
+        # fleet, each RunResult matching a solo run of the same program on a
+        # fresh cluster.  Computed output (checksums, exit codes) must be
+        # bit-identical; mutex_bench prints per-thread *elapsed virtual
+        # times*, which legitimately shift under co-tenancy (threads contend
+        # for shared cores), so for it we assert the structure and the
+        # workload's own invariants instead of raw timing text.
+        programs = [
+            ("blackscholes", blackscholes.build(n_threads=4, n_options=16)),
+            ("mutex", mutex_bench.build(n_threads=4, iters=40)),
+            ("x264", x264.build(n_frames=8, group_size=4, pages_per_frame=1)),
+        ]
+        solo = {
+            name: Cluster(2, MULTI_CFG).run(prog, max_virtual_ms=2_000)
+            for name, prog in programs
+        }
+        fleet = Cluster(2, MULTI_CFG)
+        jobs = [
+            fleet.submit(prog, name=name, max_virtual_ms=2_000)
+            for name, prog in programs
+        ]
+        shared = fleet.join(jobs)
+        for (name, _), res in zip(programs, shared):
+            assert res.exit_code == solo[name].exit_code, name
+            if name == "mutex":
+                mine = mutex_bench.parse_elapsed_ns(res.stdout)
+                theirs = mutex_bench.parse_elapsed_ns(solo[name].stdout)
+                assert len(mine) == len(theirs) == 4
+                assert all(t > 0 for t in mine)
+            else:
+                assert res.stdout == solo[name].stdout, name
+
+    def test_solo_run_on_fleet_matches_fresh_cluster(self):
+        # Cluster.run is the one-job compat wrapper: same numbers as ever.
+        prog = mutex_bench.build(n_threads=4, iters=40)
+        a = Cluster(2).run(prog, max_virtual_ms=2_000)
+        b = Cluster(2).run(prog, max_virtual_ms=2_000)
+        assert a.exit_code == b.exit_code
+        assert a.stdout == b.stdout
+        assert a.virtual_ns == b.virtual_ns
+        assert a.stats.insns_executed == b.stats.insns_executed
+
+    def test_tenant_fabric_slices_partition_global_traffic(self):
+        cluster = Cluster(2, MULTI_CFG)
+        jobs = [
+            cluster.submit(tagged_program(f"t{i}", 0), name=f"t{i}")
+            for i in range(3)
+        ]
+        results = cluster.join(jobs)
+        fleet_total = cluster._fleet.fabric.stats.messages_sent
+        assert fleet_total == sum(r.fabric.messages_sent for r in results)
+        for res in results:
+            assert res.fabric.messages_sent > 0
+
+    def test_per_tenant_directories_are_disjoint_views(self):
+        cluster = Cluster(2, MULTI_CFG)
+        jobs = [cluster.submit(tagged_program(f"d{i}", 0)) for i in range(2)]
+        cluster.join(jobs)
+        assert cluster.directories.tenants() == (0, 1)
+        assert (cluster.directories.for_tenant(0)
+                is not cluster.directories.for_tenant(1))
+        cluster.directories.check_invariants()
+
+    def test_queue_wait_is_zero_for_immediately_admitted_jobs(self):
+        cluster = Cluster(1, MULTI_CFG)
+        res = cluster.run(tagged_program("solo", 0))
+        assert res.queue_wait_ns == 0
+        assert res.tenant == 0
+
+
+class TestAdmissionControl:
+    def test_queue_depth_overflow_is_refused(self):
+        cfg = DQEMUConfig(max_concurrent_jobs=1, admission_queue_depth=1)
+        cluster = Cluster(1, cfg)
+        cluster.submit(tagged_program("a", 0))
+        queued = cluster.submit(tagged_program("b", 0))
+        assert queued.state is JobState.QUEUED
+        with pytest.raises(AdmissionError, match="admission queue full"):
+            cluster.submit(tagged_program("c", 0))
+        assert cluster.manager.rejected_total == 1
+        # The refused submission left no trace: both accepted jobs complete.
+        results = cluster.join()
+        assert [r.exit_code for r in results] == [0, 0]
+
+    def test_queued_job_admitted_when_slot_frees_and_waits_are_measured(self):
+        cfg = DQEMUConfig(max_concurrent_jobs=1, admission_queue_depth=4)
+        cluster = Cluster(1, cfg)
+        first = cluster.submit(tagged_program("first", 1))
+        second = cluster.submit(tagged_program("second", 2))
+        results = cluster.join()
+        assert [r.exit_code for r in results] == [1, 2]
+        # The second job started at the virtual time the first finished.
+        assert second.admitted_ns == first.finished_ns
+        assert results[1].queue_wait_ns == second.admitted_ns - second.submitted_ns
+        assert results[1].queue_wait_ns > 0
+        assert results[0].queue_wait_ns == 0
+
+    def test_single_job_configs_refuse_second_submission(self):
+        cluster = Cluster(0, DQEMUConfig(pure_qemu=True))
+        cluster.run(tagged_program("once", 0))
+        with pytest.raises(ConfigError, match="single-job"):
+            cluster.submit(tagged_program("again", 0))
+
+    def test_join_on_empty_cluster_returns_nothing(self):
+        assert Cluster(1).join() == []
+
+
+class TestJobManagerUnit:
+    def _manager(self, max_concurrent=2, queue_depth=2):
+        admitted = []
+        mgr = JobManager(max_concurrent, queue_depth, admitted.append)
+        return mgr, admitted
+
+    def _job(self, tenant):
+        return Job(tenant=tenant, name=f"j{tenant}", program=None)
+
+    def test_admits_up_to_concurrency_then_queues(self):
+        mgr, admitted = self._manager()
+        jobs = [self._job(i) for i in range(4)]
+        for job in jobs:
+            mgr.submit(job)
+        assert [j.tenant for j in admitted] == [0, 1]
+        assert [j.tenant for j in mgr.queue] == [2, 3]
+        assert mgr.admitted_total == 2
+
+    def test_refuses_beyond_queue_depth(self):
+        mgr, _ = self._manager(max_concurrent=1, queue_depth=1)
+        mgr.submit(self._job(0))
+        mgr.submit(self._job(1))
+        with pytest.raises(AdmissionError):
+            mgr.submit(self._job(2))
+        assert mgr.rejected_total == 1
+
+    def test_job_done_admits_fifo(self):
+        mgr, admitted = self._manager(max_concurrent=1, queue_depth=3)
+        jobs = [self._job(i) for i in range(3)]
+        for job in jobs:
+            mgr.submit(job)
+        mgr.job_done(jobs[0])
+        assert [j.tenant for j in admitted] == [0, 1]
+        mgr.job_done(jobs[1])
+        assert [j.tenant for j in admitted] == [0, 1, 2]
+        assert not mgr.queue
+
+
+class _FakeThread:
+    def __init__(self, tenant, tag):
+        self.tenant = tenant
+        self.tag = tag
+
+    def __repr__(self):
+        return self.tag
+
+
+class TestFairRunQueue:
+    def _drain(self, q, n):
+        out = []
+        for _ in range(n):
+            ev = q.get()
+            assert ev.triggered
+            out.append(ev.value)
+        return out
+
+    def test_single_tenant_is_fifo(self):
+        q = FairRunQueue(Simulator())
+        items = [_FakeThread(0, f"a{i}") for i in range(4)]
+        for it in items:
+            q.put(it)
+        assert self._drain(q, 4) == items
+
+    def test_two_tenants_round_robin(self):
+        q = FairRunQueue(Simulator())
+        a = [_FakeThread(0, f"a{i}") for i in range(3)]
+        b = [_FakeThread(1, f"b{i}") for i in range(2)]
+        for it in a + b:  # tenant 0 floods the queue first
+            q.put(it)
+        picks = self._drain(q, 5)
+        assert picks == [a[0], b[0], a[1], b[1], a[2]]
+
+    def test_sentinel_at_head_pops_plain_fifo(self):
+        q = FairRunQueue(Simulator())
+        q.put(None)
+        q.put(_FakeThread(0, "a0"))
+        assert self._drain(q, 1) == [None]
+
+    def test_put_to_waiting_getter_bypasses_arbitration(self):
+        q = FairRunQueue(Simulator())
+        ev = q.get()
+        assert not ev.triggered
+        th = _FakeThread(3, "x")
+        q.put(th)
+        assert ev.triggered and ev.value is th
+        assert len(q) == 0
+
+
+class TestTenantDirectoryView:
+    def test_routes_and_rejects(self):
+        view = TenantDirectoryView()
+        d0, d1 = Directory(), Directory()
+        view.add_tenant(0, [d0])
+        view.add_tenant(1, [d1])
+        with pytest.raises(ConfigError, match="already registered"):
+            view.add_tenant(0, [d0])
+        with pytest.raises(ConfigError, match="unknown tenant"):
+            view.for_tenant(9)
+        assert view.tenants() == (0, 1)
+        assert view.for_tenant(1).shards == [d1]
+        view.check_invariants()

@@ -195,9 +195,27 @@ class TestMessages:
         pd = PageData(page=1, data=bytes(4096))
         assert pd.size_bytes() == HEADER_BYTES + 4096
 
-    def test_req_ids_unique(self):
-        ids = {PageRequest(page=i).req_id for i in range(100)}
-        assert len(ids) == 100
+    def test_req_ids_stamped_at_transmit_are_unique(self):
+        # Ids come from the fabric's per-cluster sequence, assigned on first
+        # transmit — construction alone leaves the frame unstamped.
+        sim, fabric, (a, b, _) = make_cluster()
+        b.subscribe_default()
+        msgs = [PageRequest(page=i) for i in range(100)]
+        assert all(m.req_id == 0 for m in msgs)
+        for m in msgs:
+            a.send(1, m)
+        assert len({m.req_id for m in msgs}) == 100
+
+    def test_req_id_sequences_are_per_fabric(self):
+        # Two clusters in one process no longer interleave id streams.
+        _, _, (a1, b1, _) = make_cluster()
+        _, _, (a2, b2, _) = make_cluster()
+        b1.subscribe_default()
+        b2.subscribe_default()
+        m1, m2 = PageRequest(page=1), PageRequest(page=1)
+        a1.send(1, m1)
+        a2.send(1, m2)
+        assert m1.req_id == m2.req_id == 1
 
     def test_syscall_request_payload_scales_with_args(self):
         small = SyscallRequest(sysno=1, args=(1,))
