@@ -43,6 +43,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="consecutive missed timeout windows before a peer is "
                         "marked down (default 5; must exceed the suspect "
                         "threshold)")
+    p.add_argument("--superblock-threshold", type=int, default=0, metavar="N",
+                   help="promote a block into a trace superblock after N "
+                        "executions (default 0: disabled)")
+    p.add_argument("--superblock-max-blocks", type=int, default=8, metavar="N",
+                   help="trace-length cap in blocks, loop bodies may repeat "
+                        "(default 8)")
+    p.add_argument("--cpi-superblock", type=float, default=1.0, metavar="C",
+                   help="virtual cycles per instruction inside a superblock "
+                        "(default 1.0)")
+    p.add_argument("--fusion", action="store_true",
+                   help="fuse recurring guest idioms (compare+branch, "
+                        "load+op, atomic spin) into single host operations")
+    p.add_argument("--no-chaining", action="store_true",
+                   help="disable block chaining: every dispatch goes through "
+                        "the code-cache lookup")
     p.add_argument("--qemu", action="store_true",
                    help="run the vanilla single-node QEMU baseline instead")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -93,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
         pure_qemu=args.qemu,
         max_concurrent_jobs=args.max_concurrent_jobs,
         admission_queue_depth=args.admission_queue_depth,
+        chaining_enabled=not args.no_chaining,
+        superblock_threshold=args.superblock_threshold,
+        superblock_max_blocks=args.superblock_max_blocks,
+        cpi_superblock=args.cpi_superblock,
+        fusion_enabled=args.fusion,
     )
     if args.time_scale != 1.0:
         config = config.time_scaled(args.time_scale)

@@ -55,6 +55,17 @@ class DQEMUConfig:
     translate_per_insn: float = 800.0
     max_block_insns: int = 64
     quantum_cycles: int = 50_000
+    # DBT hot-path tier (docs/PROTOCOL.md "DBT hot path").  Chaining is
+    # timing-neutral dispatch plumbing and stays on; superblocks and idiom
+    # fusion change the cost model, so they default off and every committed
+    # table regenerates bit-identically.
+    chaining_enabled: bool = True
+    # exec_count at which a hot block is grown into a trace superblock;
+    # 0 disables promotion entirely.
+    superblock_threshold: int = 0
+    superblock_max_blocks: int = 8  # trace-length cap (members, may repeat)
+    cpi_superblock: float = 1.0  # per-insn cost inside a superblock
+    fusion_enabled: bool = False  # peephole idiom fusion (compare+branch, ...)
 
     # -- DSM / coherence ----------------------------------------------------
     page_fault_trap_cycles: int = 2_000
@@ -158,6 +169,19 @@ class DQEMUConfig:
             raise ConfigError("cpu_ghz must be positive")
         if self.forwarding_trigger < 1 or self.splitting_trigger < 1:
             raise ConfigError("optimization triggers must be >= 1")
+        if self.superblock_threshold < 0:
+            raise ConfigError("superblock_threshold must be >= 0 (0 disables)")
+        if self.superblock_threshold and not self.chaining_enabled:
+            raise ConfigError(
+                "superblocks require chaining_enabled: traces grow along "
+                "recorded chain edges"
+            )
+        if self.superblock_max_blocks < 2:
+            raise ConfigError("superblock_max_blocks must be >= 2")
+        if self.cpi_superblock <= 0 or self.cpi_superblock > self.cpi_dbt:
+            raise ConfigError(
+                "cpi_superblock must be positive and no costlier than cpi_dbt"
+            )
         if self.master_shards < 1:
             raise ConfigError("master_shards must be >= 1")
         if self.rpc_timeout_ns is not None and self.rpc_timeout_ns <= 0:

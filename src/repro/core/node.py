@@ -141,10 +141,15 @@ class NodeTenant:
             timing=EngineTiming(
                 cpi_dbt=config.effective_cpi_dbt,
                 cpi_interp=config.cpi_interp,
+                cpi_superblock=config.cpi_superblock,
                 translate_per_insn=config.translate_per_insn,
             ),
             mode=config.mode,
             max_block_insns=config.max_block_insns,
+            chaining=config.chaining_enabled,
+            superblock_threshold=config.superblock_threshold,
+            superblock_max_blocks=config.superblock_max_blocks,
+            fusion=config.fusion_enabled,
         )
         self.threads: dict[int, GuestThread] = {}
         self.inflight: dict[int, tuple] = {}  # page -> (event, write)
@@ -438,7 +443,11 @@ class NodeRuntime:
             ns = self._cycles_to_ns(stop.cycles)
             if ns:
                 yield self.sim.timeout(ns)
-            th.stats.execute_ns += ns
+            # Split the quantum's wall time into translation vs execution
+            # mode for the Fig. 8 breakdown; the sum stays exactly ns.
+            tr_ns = min(ns, self._cycles_to_ns(stop.translate_cycles))
+            th.stats.translate_ns += tr_ns
+            th.stats.execute_ns += ns - tr_ns
             th.stats.quanta += 1
             kind = stop.kind
             if kind is StopKind.QUANTUM:

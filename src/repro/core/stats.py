@@ -16,6 +16,7 @@ __all__ = [
     "ProtocolStats",
     "ShardLoadStats",
     "ServiceStats",
+    "DbtStats",
     "NodeFailure",
     "FailureStats",
     "RunStats",
@@ -151,6 +152,46 @@ class ServiceStats:
 
 
 @dataclass
+class DbtStats:
+    """Hot-path telemetry aggregated across every node's DBT engine
+    (docs/PROTOCOL.md "DBT hot path").
+
+    ``lookups``/``misses`` count slow-path code-cache dispatches;
+    ``chain_follows`` dispatches that rode a direct block-to-block
+    reference instead.  Lookups per executed instruction (divide by
+    ``RunStats.insns_executed``) is the dispatch-overhead figure the hot
+    path exists to shrink.  The ``*_saved_cycles`` counters are the
+    virtual cycles the cheaper superblock CPI and fused idioms avoided
+    relative to plain per-block execution.
+    """
+
+    lookups: int = 0
+    misses: int = 0
+    chain_follows: int = 0
+    translations: int = 0
+    invalidations: int = 0
+    unchains: int = 0
+    superblocks_formed: int = 0
+    execute_cycles: float = 0.0
+    translate_cycles: float = 0.0
+    superblock_saved_cycles: float = 0.0
+    fusion_saved_cycles: float = 0.0
+    fusion_hits: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dispatches(self) -> int:
+        return self.lookups + self.chain_follows
+
+    @property
+    def lookup_hit_rate(self) -> float:
+        return 1.0 - self.misses / self.lookups if self.lookups else 0.0
+
+    @property
+    def total_fusion_hits(self) -> int:
+        return sum(self.fusion_hits.values())
+
+
+@dataclass
 class NodeFailure:
     """One failed (crashed or drained) node's recovery record."""
 
@@ -220,6 +261,7 @@ class RunStats:
     wall_ns: int = 0  # virtual time from program start to exit
     insns_executed: int = 0
     insns_translated: int = 0
+    dbt: DbtStats = field(default_factory=DbtStats)
     #: Job the counters belong to; 0 for single-job runs.  Every admitted
     #: job gets its own RunStats, so per-tenant attribution is structural
     #: (separate objects), not post-hoc filtering.

@@ -27,6 +27,7 @@ class CPUState:
         "tid",
         "hint_group",
         "block_ic",
+        "cycle_frac",
         "halted",
         "exit_status",
     )
@@ -41,6 +42,9 @@ class CPUState:
         #: Scratch used by translated blocks to report executed-instruction
         #: counts to the engine (precise even across page stalls).
         self.block_ic = 0
+        #: Fractional virtual-cycle remainder carried between quanta so the
+        #: engine's long-run totals match the per-instruction model exactly.
+        self.cycle_frac = 0.0
         self.halted = False
         self.exit_status: Optional[int] = None
         if sp is not None:
@@ -68,6 +72,7 @@ class CPUState:
             "pc": self.pc,
             "tid": self.tid,
             "hint_group": self.hint_group,
+            "cycle_frac": self.cycle_frac,
         }
 
     @classmethod
@@ -75,6 +80,7 @@ class CPUState:
         cpu = cls(pc=snap["pc"], tid=snap["tid"])
         cpu.regs = list(snap["regs"])
         cpu.hint_group = snap.get("hint_group")
+        cpu.cycle_frac = snap.get("cycle_frac", 0.0)
         return cpu
 
     def __repr__(self) -> str:

@@ -31,3 +31,6 @@ class StopEvent:
     kind: StopKind
     cycles: int
     info: Optional[Any] = None  # PageStall, GuestFault, ... depending on kind
+    #: Portion of ``cycles`` spent in translation mode (block/superblock
+    #: compilation) this quantum; the rest is execution.
+    translate_cycles: int = 0

@@ -9,7 +9,7 @@ interpreter oracle across the whole ISA.
 from hypothesis import given, settings, strategies as st
 
 from repro.dbt import CPUState, ExecutionEngine, StopKind
-from repro.isa import SPECS, Instruction, encode
+from repro.isa import SPECS, Instruction, assemble, encode
 from repro.isa.instructions import Fmt
 from repro.mem import FlatMemory
 
@@ -88,7 +88,7 @@ def initial_regs(draw):
     return [0] + [draw(st.integers(0, M64)) for _ in range(31)]
 
 
-def _run(instrs, regs, mode):
+def _run(instrs, regs, mode, **engine_kwargs):
     mem = FlatMemory()
     words = b"".join(encode(i).to_bytes(4, "little") for i in instrs)
     ecall = encode(Instruction(SPECS["ecall"])).to_bytes(4, "little")
@@ -98,7 +98,7 @@ def _run(instrs, regs, mode):
     cpu = CPUState(pc=TEXT, tid=1)
     cpu.regs = list(regs)
     cpu.regs[BUF_REG] = BUF
-    engine = ExecutionEngine(mem, mode=mode)
+    engine = ExecutionEngine(mem, mode=mode, **engine_kwargs)
     stop = engine.run_quantum(cpu, 100_000_000)
     assert stop.kind is StopKind.SYSCALL, stop
     return cpu, mem
@@ -126,3 +126,108 @@ def test_x0_never_modified(instrs, regs):
 def test_all_registers_stay_64_bit(instrs, regs):
     cpu, _ = _run(instrs, regs, "dbt")
     assert all(0 <= r <= M64 for r in cpu.regs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(programs(), initial_regs())
+def test_fused_dbt_matches_interpreter(instrs, regs):
+    """Idiom fusion must never change architectural state, whatever
+    random combination of fusable pairs the generator produces."""
+    cpu_i, mem_i = _run(instrs, regs, "interp")
+    cpu_f, mem_f = _run(instrs, regs, "dbt", fusion=True)
+    assert cpu_i.regs == cpu_f.regs
+    assert cpu_i.pc == cpu_f.pc
+    assert mem_i.read_bytes(BUF, 4096) == mem_f.read_bytes(BUF, 4096)
+
+
+# -- hot-path identity on looping programs -----------------------------------
+#
+# Hypothesis programs are straight-line, so chaining/superblocks barely
+# trigger.  These crafted loops exercise every hot-path feature at once and
+# diff the full architectural state against the interpreter.
+
+HOT_LOOP = """
+_start:
+  li s0, 0
+  li t0, 0
+  li t6, 300
+outer:
+  la t2, table
+  andi t3, t0, 7
+  slli t3, t3, 3
+  add t2, t2, t3
+  ld t4, 0(t2)
+  add s0, s0, t4
+  addi t0, t0, 1
+  slt t5, t0, t6
+  bne t5, zero, outer
+  ecall
+.data
+table: .quad 3, 1, 4, 1, 5, 9, 2, 6
+"""
+
+SPIN_LOOP = """
+_start:
+  la a0, cell
+  li s0, 0
+  li t0, 0
+  li t6, 40
+loop:
+take:
+  lr t1, (a0)
+  bne t1, zero, take
+  li t1, 1
+  sc t2, t1, (a0)
+  bne t2, zero, take
+  ld t3, 0(a0)
+  add s0, s0, t3
+  sd zero, 0(a0)
+  addi t0, t0, 1
+  slt t5, t0, t6
+  bne t5, zero, loop
+  ecall
+.data
+.align 8
+cell: .quad 0
+"""
+
+
+def _run_asm(source, mode, **engine_kwargs):
+    prog = assemble(source)
+    mem = FlatMemory()
+    mem.load_image(prog.iter_load_segments())
+    cpu = CPUState(pc=prog.entry, tid=1, sp=0x7000_0000)
+    engine = ExecutionEngine(mem, mode=mode, **engine_kwargs)
+    stop = engine.run_quantum(cpu, 1_000_000_000)
+    assert stop.kind is StopKind.SYSCALL, stop
+    return cpu, engine
+
+
+class TestHotPathIdentity:
+    HOT = dict(superblock_threshold=8, superblock_max_blocks=8, fusion=True)
+
+    def test_hot_loop_identical_under_full_hot_path(self):
+        ref, _ = _run_asm(HOT_LOOP, "interp")
+        hot, engine = _run_asm(HOT_LOOP, "dbt", **self.HOT)
+        assert hot.regs == ref.regs and hot.pc == ref.pc
+        # and the hot path actually engaged, this is not a vacuous pass:
+        assert engine.superblocks_formed >= 1
+        assert engine.fusion_hits.get("cmp_branch", 0) > 0
+        assert engine.fusion_hits.get("load_op", 0) > 0
+
+    def test_spin_loop_identical_under_full_hot_path(self):
+        ref, _ = _run_asm(SPIN_LOOP, "interp")
+        hot, engine = _run_asm(SPIN_LOOP, "dbt", **self.HOT)
+        assert hot.regs == ref.regs and hot.pc == ref.pc
+        assert engine.fusion_hits.get("atomic_branch", 0) > 0
+
+    def test_each_feature_alone_is_identical(self):
+        ref, _ = _run_asm(HOT_LOOP, "interp")
+        for kwargs in (
+            dict(chaining=False),
+            dict(fusion=True),
+            dict(superblock_threshold=4),
+            dict(superblock_threshold=2, superblock_max_blocks=3),
+        ):
+            got, _ = _run_asm(HOT_LOOP, "dbt", **kwargs)
+            assert got.regs == ref.regs and got.pc == ref.pc, kwargs

@@ -95,6 +95,28 @@ class TestCodeCache:
         engine.run_quantum(cpu, 100_000_000)
         stats = engine.cache.stats
         assert stats.translations <= 4
+        # Every loop iteration dispatches the body; chaining turns almost
+        # all of those dispatches into direct chain follows.
+        assert stats.dispatches > 100
+        assert stats.chain_follows > 90
+        assert stats.misses == stats.translations
+
+    def test_chaining_disabled_pays_a_lookup_per_block(self):
+        prog, mem, cpu = load(
+            """
+            _start:
+              li t0, 0
+            loop:
+              addi t0, t0, 1
+              li t1, 100
+              blt t0, t1, loop
+              ecall
+            """
+        )
+        engine = ExecutionEngine(mem, chaining=False)
+        engine.run_quantum(cpu, 100_000_000)
+        stats = engine.cache.stats
+        assert stats.chain_follows == 0
         assert stats.lookups > 100
         assert stats.hit_rate > 0.9
 
