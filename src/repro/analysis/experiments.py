@@ -44,6 +44,8 @@ __all__ = [
     "Fig5PartitionResult",
     "Fig5ShardedResult",
     "Fig6Result",
+    "Fig6CoherenceResult",
+    "COHERENCE_METRICS",
     "Table1Result",
     "Fig7Result",
     "Fig8Result",
@@ -54,6 +56,7 @@ __all__ = [
     "run_fig5_partition",
     "run_fig5_sharded",
     "run_fig6",
+    "run_fig6_coherence",
     "run_table1",
     "run_fig7",
     "run_fig8",
@@ -681,6 +684,145 @@ def run_fig6(
         qemu_worst_ns=qemu_worst,
         qemu_best_ns=qemu_best,
         params=dict(n_threads=n_threads, worst_iters=worst_iters, best_iters=best_iters),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 extension — coherence-protocol sweep (MSI / MESI / migrate / adaptive)
+# ---------------------------------------------------------------------------
+
+COHERENCE_METRICS = (
+    "time_ms",
+    "mean_wait_us",
+    "page_requests",
+    "write_upgrades",
+    "exclusive_grants",
+    "silent_upgrades",
+    "upgrade_acks",
+    "home_migrations",
+    "home_local_hits",
+    "home_remote_misses",
+    "reclassifications",
+)
+
+
+@dataclass
+class Fig6CoherenceResult:
+    """Per-workload × per-protocol telemetry for the coherence sweep.
+
+    ``rows[workload][protocol]`` maps each name in :data:`COHERENCE_METRICS`
+    to its measured value.  Workloads:
+
+    * ``single-writer`` — private-region RMW walk: every page is read first
+      and written moments later by one thread.  MESI's Exclusive grant turns
+      each page's S→M upgrade round trip into a silent local flip.
+    * ``mutex-worst`` — the Fig. 6 global-lock pessimum: the lock page
+      ping-pongs, upgrades are frequent, and payload-free upgrade acks trim
+      the mean coherence wait.
+    * ``mixed-sharded`` — private regions + a multi-writer ping-pong page +
+      a producer/consumer broadcast page on a two-shard master: no fixed
+      protocol is right for every page, which is the adaptive policy's case.
+    """
+
+    protocols: list[str]
+    workloads: list[str]
+    rows: dict[str, dict[str, dict[str, float]]]
+    params: dict
+
+    def metric(self, workload: str, protocol: str, key: str) -> float:
+        return self.rows[workload][protocol][key]
+
+    def render(self) -> str:
+        parts = []
+        for wl in self.workloads:
+            headers = ["protocol", *COHERENCE_METRICS]
+            table_rows = [
+                [proto, *(self.rows[wl][proto][k] for k in COHERENCE_METRICS)]
+                for proto in self.protocols
+            ]
+            parts.append(
+                render_table(
+                    headers, table_rows,
+                    title=f"Fig. 6 (coherence) — {wl}",
+                )
+            )
+        return "\n\n".join(parts)
+
+
+def run_fig6_coherence(
+    protocols: Sequence[str] = ("msi", "mesi", "migrate", "adaptive"),
+    n_slaves: int = 4,
+    rmw_threads: int = 8,
+    rmw_pages_per_thread: int = 8,
+    rmw_passes: int = 4,
+    mutex_threads: int = 8,
+    mutex_iters: int = 2_000,
+    mixed_shards: int = 2,
+    adaptive_window: int = 8,
+) -> Fig6CoherenceResult:
+    """Coherence-protocol sweep over the three discriminating workloads.
+
+    Uses the real §6.1 network constants (like Fig. 6 / Table 1): the sweep
+    measures protocol round trips themselves, so communication costs must
+    stay unscaled.
+    """
+    workloads = ["single-writer", "mutex-worst", "mixed-sharded"]
+    rows: dict[str, dict[str, dict[str, float]]] = {wl: {} for wl in workloads}
+
+    def measure(result: RunResult) -> dict[str, float]:
+        p = result.stats.protocol
+        return {
+            "time_ms": result.virtual_ns / 1e6,
+            "mean_wait_us": mean_fault_latency_us(result),
+            "page_requests": p.page_requests,
+            "write_upgrades": p.write_upgrades,
+            "exclusive_grants": p.exclusive_grants,
+            "silent_upgrades": p.silent_upgrades,
+            "upgrade_acks": p.upgrade_acks,
+            "home_migrations": p.home_migrations,
+            "home_local_hits": p.home_local_hits,
+            "home_remote_misses": p.home_remote_misses,
+            "reclassifications": p.adaptive_reclassifications,
+        }
+
+    rmw_prog = memaccess.build_private_rmw(
+        rmw_threads, n_slaves, rmw_pages_per_thread, passes=rmw_passes
+    )
+    mutex_prog = mutex_bench.build(mutex_threads, mutex_iters, private=False)
+    mixed_prog = memaccess.build_private_rmw(
+        rmw_threads, n_slaves, rmw_pages_per_thread, passes=rmw_passes,
+        shared_beat=16, bcast_beat=16,
+    )
+    for proto in protocols:
+        rows["single-writer"][proto] = measure(
+            Cluster(
+                n_slaves, DQEMUConfig(coherence_protocol=proto,
+                                      adaptive_window=adaptive_window)
+            ).run(rmw_prog, **RUN_KW)
+        )
+        rows["mutex-worst"][proto] = measure(
+            Cluster(
+                n_slaves, DQEMUConfig(coherence_protocol=proto,
+                                      adaptive_window=adaptive_window)
+            ).run(mutex_prog, **RUN_KW)
+        )
+        rows["mixed-sharded"][proto] = measure(
+            Cluster(
+                n_slaves, DQEMUConfig(coherence_protocol=proto,
+                                      adaptive_window=adaptive_window,
+                                      master_shards=mixed_shards)
+            ).run(mixed_prog, **RUN_KW)
+        )
+    return Fig6CoherenceResult(
+        protocols=list(protocols),
+        workloads=workloads,
+        rows=rows,
+        params=dict(
+            n_slaves=n_slaves, rmw_threads=rmw_threads,
+            rmw_pages_per_thread=rmw_pages_per_thread, rmw_passes=rmw_passes,
+            mutex_threads=mutex_threads, mutex_iters=mutex_iters,
+            mixed_shards=mixed_shards, adaptive_window=adaptive_window,
+        ),
     )
 
 

@@ -59,7 +59,10 @@ def render_service_breakdown(stats) -> str:
     actually retried — zero-loss tables keep rendering byte-identically.
     The failure-domain columns (threads evacuated / lost, directory pages
     re-homed / written off) follow the same rule: they appear only when a
-    node actually crashed or drained mid-run.
+    node actually crashed or drained mid-run.  So do the coherence-protocol
+    columns (Exclusive grants, silent E→M upgrades, home migrations,
+    adaptive reclassifications): they only render under a non-MSI
+    ``coherence_protocol``, keeping every default table byte-identical.
     """
     services = sorted(
         stats.services.values(), key=lambda s: (-s.busy_ns, -s.requests, s.name)
@@ -69,11 +72,18 @@ def render_service_breakdown(stats) -> str:
         s.evacuations or s.lost_threads or s.rehomed_pages or s.lost_pages
         for s in services
     )
+    coherent = any(
+        s.exclusive_grants or s.silent_upgrades or s.home_migrations
+        or s.reclassifications
+        for s in services
+    )
     headers = ["service", "shard", "requests", "busy (us)", "queue-wait (us)"]
     if reliable:
         headers += ["retransmits", "recovered", "mean recovery (us)"]
     if failure:
         headers += ["evacuated", "lost threads", "rehomed pages", "lost M pages"]
+    if coherent:
+        headers += ["E grants", "silent E->M", "migrations", "reclass"]
     rows = []
     for s in services:
         row = [s.name, "all", s.requests, s.busy_ns / 1e3, s.queue_wait_ns / 1e3]
@@ -82,6 +92,11 @@ def render_service_breakdown(stats) -> str:
             row += [s.retransmits, s.recoveries, mean]
         if failure:
             row += [s.evacuations, s.lost_threads, s.rehomed_pages, s.lost_pages]
+        if coherent:
+            row += [
+                s.exclusive_grants, s.silent_upgrades, s.home_migrations,
+                s.reclassifications,
+            ]
         rows.append(row)
         if len(s.shards) > 1:
             for k in sorted(s.shards):
@@ -92,6 +107,9 @@ def render_service_breakdown(stats) -> str:
                     sub += ["", "", ""]
                 if failure:
                     # Failure accounting is per service, not per shard.
+                    sub += ["", "", "", ""]
+                if coherent:
+                    # Protocol telemetry is per service, not per shard.
                     sub += ["", "", "", ""]
                 rows.append(sub)
     return render_table(headers, rows, title="Runtime service load")

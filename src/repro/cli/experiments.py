@@ -17,6 +17,7 @@ from repro.analysis import (
     run_fig5_crash,
     run_fig5_sharded,
     run_fig6,
+    run_fig6_coherence,
     run_fig7,
     run_fig8,
     run_table1,
@@ -74,6 +75,7 @@ EXPERIMENTS = {
     "fig5_crash": run_fig5_crash,
     "fig5_sharded": run_fig5_sharded,
     "fig6": run_fig6,
+    "fig6_coherence": run_fig6_coherence,
     "table1": run_table1,
     "fig7": _fig7_both,
     "fig8": _fig8_both,

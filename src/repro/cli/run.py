@@ -33,6 +33,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler", choices=("round_robin", "hint"), default="round_robin",
         help="thread placement policy (§5.3)",
     )
+    p.add_argument(
+        "--coherence-protocol", choices=("msi", "mesi", "migrate", "adaptive"),
+        default="msi",
+        help="page-coherence protocol: the paper's MSI (default), MESI "
+             "(exclusive-clean grants kill the first-write upgrade round "
+             "trip), home migration toward dominant writers, or per-page "
+             "adaptive selection",
+    )
+    p.add_argument("--migration-trigger", type=int, default=4, metavar="N",
+                   help="consecutive write acquisitions by one node before a "
+                        "page's home migrates to it (default 4)")
     p.add_argument("--master-shards", type=int, default=1, metavar="K",
                    help="partition the master directory across K shard pools "
                         "(default 1: the paper's single-directory master)")
@@ -102,6 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         forwarding_enabled=args.forwarding,
         splitting_enabled=args.splitting,
         scheduler=args.scheduler,
+        coherence_protocol=args.coherence_protocol,
+        migration_trigger=args.migration_trigger,
         master_shards=args.master_shards,
         health_suspect_after=args.health_suspect_after,
         health_down_after=args.health_down_after,
@@ -153,6 +166,18 @@ def main(argv: list[str] | None = None) -> int:
             f" syscalls {p.delegated_syscalls} delegated/{p.local_syscalls} local]",
             file=sys.stderr,
         )
+        if (p.exclusive_grants or p.silent_upgrades or p.home_migrations
+                or p.adaptive_reclassifications):
+            print(
+                f"[coherence {args.coherence_protocol}:"
+                f" E grants {p.exclusive_grants},"
+                f" silent E->M {p.silent_upgrades},"
+                f" upgrade acks {p.upgrade_acks},"
+                f" home migrations {p.home_migrations},"
+                f" home hits {p.home_local_hits}/misses {p.home_remote_misses},"
+                f" reclassifications {p.adaptive_reclassifications}]",
+                file=sys.stderr,
+            )
     if args.trace and result.trace is not None:
         print(result.trace.render(limit=args.trace_limit), file=sys.stderr)
     return result.exit_code

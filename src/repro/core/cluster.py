@@ -364,6 +364,7 @@ class Cluster:
             fleet.directories.add_tenant(
                 job.tenant,
                 [shard.coherence.directory for shard in master.shards],
+                policies=[shard.coherence.policy for shard in master.shards],
             )
 
         # -- failure-domain wiring (docs/PROTOCOL.md "Failure domains") --------

@@ -68,6 +68,25 @@ class DQEMUConfig:
     fusion_enabled: bool = False  # peephole idiom fusion (compare+branch, ...)
 
     # -- DSM / coherence ----------------------------------------------------
+    # Page-coherence protocol (docs/PROTOCOL.md "Coherence protocols"):
+    #   "msi"      the paper's directory MSI (default; every committed table
+    #              regenerates bit-identically),
+    #   "mesi"     Exclusive-clean read grants + silent node-side E->M
+    #              upgrades + payload-free S->M upgrade acks,
+    #   "migrate"  MESI + home migration toward each page's dominant writer,
+    #   "adaptive" per-page choice among the three from online access-
+    #              pattern stats with hysteresis.
+    coherence_protocol: str = "msi"
+    # Consecutive write acquisitions by one node before a page's home
+    # migrates to it ("migrate"/"adaptive").
+    migration_trigger: int = 4
+    # Extra hop paid by every OTHER node's request once a page's home has
+    # migrated: the master must reach the remote home for the authoritative
+    # copy instead of its own store.  Makes migration a real bet — it only
+    # pays off while the new home stays the dominant requester.
+    migration_penalty_ns: int = 160_000
+    # Page requests between adaptive-classifier evaluations of a page.
+    adaptive_window: int = 16
     page_fault_trap_cycles: int = 2_000
     dsm_service_ns: int = 320_000  # master manager per page-request
     # A request racing an already-delivered forwarded page (the directory
@@ -165,6 +184,17 @@ class DQEMUConfig:
             raise ConfigError(f"unknown mode {self.mode!r}")
         if self.scheduler not in ("round_robin", "hint"):
             raise ConfigError(f"unknown scheduler {self.scheduler!r}")
+        if self.coherence_protocol not in ("msi", "mesi", "migrate", "adaptive"):
+            raise ConfigError(
+                f"unknown coherence protocol {self.coherence_protocol!r} "
+                "(choose msi, mesi, migrate or adaptive)"
+            )
+        if self.migration_trigger < 1:
+            raise ConfigError("migration_trigger must be >= 1")
+        if self.migration_penalty_ns < 0:
+            raise ConfigError("migration_penalty_ns must be >= 0")
+        if self.adaptive_window < 2:
+            raise ConfigError("adaptive_window must be >= 2")
         if self.cpu_ghz <= 0:
             raise ConfigError("cpu_ghz must be positive")
         if self.forwarding_trigger < 1 or self.splitting_trigger < 1:
@@ -303,6 +333,7 @@ class DQEMUConfig:
             loopback_latency_ns=max(1, int(self.loopback_latency_ns / k)),
             dsm_service_ns=max(1, int(self.dsm_service_ns / k)),
             dsm_fast_service_ns=max(1, int(self.dsm_fast_service_ns / k)),
+            migration_penalty_ns=max(1, int(self.migration_penalty_ns / k)),
             slave_coherence_service_ns=max(1, int(self.slave_coherence_service_ns / k)),
             syscall_service_ns=max(1, int(self.syscall_service_ns / k)),
             forwarding_push_ns=max(1, int(self.forwarding_push_ns / k)),

@@ -500,6 +500,13 @@ class NodeRuntime:
     ):
         store = bundle.pagestore
         while True:
+            if write and store.silently_upgrade(page):
+                # MESI: an Exclusive-clean copy becomes Modified right here
+                # — the fault costs the local trap, never a master round
+                # trip (docs/PROTOCOL.md "Coherence protocols").
+                bundle.run_stats.protocol.silent_upgrades += 1
+                bundle.run_stats.service(NodeCoherenceService.name).silent_upgrades += 1
+                return
             if store.has_write(page) or (not write and store.has_read(page)):
                 return
             inflight = bundle.inflight.get(page)
@@ -541,7 +548,20 @@ class NodeRuntime:
                 # Page was split/merged concurrently: the access re-translates
                 # against the updated table and faults again if needed.
                 return
-            store.install(page, reply.data, MSIState.MODIFIED if reply.write else MSIState.SHARED)
+            if reply.upgrade:
+                # Payload-free S→M upgrade ack: the local Shared copy is
+                # current, only its state flips.  If the copy was somehow
+                # dropped meanwhile, the access simply faults again.
+                if store.has_read(page):
+                    store.set_state(page, MSIState.MODIFIED)
+                return
+            if reply.write:
+                state = MSIState.MODIFIED
+            elif reply.exclusive:
+                state = MSIState.EXCLUSIVE
+            else:
+                state = MSIState.SHARED
+            store.install(page, reply.data, state)
             return
 
     def _request_merge(self, orig_page: int, tenant: int = 0):

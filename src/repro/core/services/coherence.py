@@ -1,9 +1,20 @@
-"""Master coherence service: page directory + MSI transactions (paper §4.2).
+"""Master coherence service: page directory + coherence transactions (§4.2).
 
 Owns the authoritative *home* copies, the page directory, and the per-page
-locks every MSI transaction serializes on.  Handles ``page_request`` frames
-and exposes the kernel-facing page-ownership helpers (§4.3 pointer-argument
-migration) used by the syscall service's guest-memory accessor.
+locks every coherence transaction serializes on.  Handles ``page_request``
+frames and exposes the kernel-facing page-ownership helpers (§4.3
+pointer-argument migration) used by the syscall service's guest-memory
+accessor.
+
+The transaction *mechanics* (locks, invalidations, write-backs, grants)
+live here and are protocol-independent; the per-page protocol *decisions*
+— Exclusive-clean grants, payload-free upgrade acks, home migration, the
+adaptive classifier — sit behind the
+:class:`~repro.mem.protocols.CoherencePolicy` seam selected by
+``DQEMUConfig.coherence_protocol`` (docs/PROTOCOL.md "Coherence
+protocols").  The default MSI policy is all no-ops, keeping every default
+run's event schedule and wire traffic bit-identical to the pre-seam
+protocol.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ from repro.mem.directory import Directory
 from repro.mem.layout import PAGE_SIZE, page_of, page_offset
 from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
+from repro.mem.protocols import make_policy
 from repro.net.endpoint import Endpoint
 from repro.net.messages import Invalidate, PageData, WriteBack
 from repro.net.rpc import RpcTimeout
@@ -119,6 +131,11 @@ class CoherenceService:
         # bit-identical to the failure-blind protocol.
         self.view = view
         self.directory = Directory()
+        # Per-page protocol decisions (docs/PROTOCOL.md "Coherence
+        # protocols").  One policy per shard: its state is page-keyed and
+        # pages are shard-disjoint.  The default MSI policy is stateless
+        # no-ops — bit-identical behavior.
+        self.policy = make_policy(config)
         # Loss recovery for the requests this service issues (invalidates,
         # write-backs).  Resolved once; stats binding only when armed, so
         # default runs create no extra RunStats entries.
@@ -136,7 +153,18 @@ class CoherenceService:
     # -- failure-domain degradation (docs/PROTOCOL.md "Failure domains") -------
 
     def evict_node(self, node: int) -> tuple[list[int], list[int]]:
-        """Drop a dead node from this shard's directory (re-homing)."""
+        """Drop a dead node from this shard's directory (re-homing).
+
+        Policy state goes first: pages whose migrated home lived on the
+        dead node revert to the master's home copy (the directory pass
+        below accounts any data loss — a dead home held its page Modified,
+        so it lands in *lost*), and access-pattern stats naming the dead
+        node are reset so it can never be chosen as a migration target
+        again.  Exclusive-clean copies on the dead node are owner-tracked
+        and counted lost conservatively (see ``Directory.evict_node``).
+        """
+        for page in self.policy.evict_node(node):
+            self.trace.emit("page", node, "home reverted to master", page=page)
         return self.directory.evict_node(node)
 
     def _dead(self, node: int) -> bool:
@@ -234,7 +262,9 @@ class CoherenceService:
                 owner = None
             if owner is not None:
                 ack = yield from self._ask(owner, WriteBack(page=page))
-                if ack is not None:
+                # A clean Exclusive holder acks without payload (the home
+                # copy is still current); only dirty data is installed.
+                if ack is not None and ack.data is not None:
                     self.home_install(page, ack.data)
                 self.directory.downgrade_owner(page)
                 self.run_stats.protocol.downgrades += 1
@@ -320,7 +350,23 @@ class CoherenceService:
                 self.endpoint.reply(msg, PageData(page=page, write=False, ack_only=True))
                 return
 
-            yield self.sim.timeout(cfg.dsm_service_ns)
+            home = self.policy.home_of(page)
+            if home == node:
+                # The page's home migrated to the requester: the
+                # authoritative copy already lives with the node, so the
+                # master's part is a metadata-only directory transaction
+                # billed at the fast-path service time.
+                proto.home_local_hits += 1
+                yield self.sim.timeout(cfg.dsm_fast_service_ns)
+            elif home is not None:
+                # Home migrated to SOME OTHER node: the master must reach
+                # the remote home for the authoritative copy — an extra hop
+                # on top of the normal service.  Migration only pays while
+                # the new home stays the dominant requester.
+                proto.home_remote_misses += 1
+                yield self.sim.timeout(cfg.dsm_service_ns + cfg.migration_penalty_ns)
+            else:
+                yield self.sim.timeout(cfg.dsm_service_ns)
 
             # Requests racing a split/merge retry against the new table.
             if self.splitting.entry(page) is not None or self.splitting.is_retired(page):
@@ -338,6 +384,19 @@ class CoherenceService:
                     proto.split_retry_replies += 1
                     self.endpoint.reply(msg, PageData(page=page, retry=True))
                     return
+
+            # Feed the access-pattern stats behind the policy seam; a write
+            # streak may migrate the page's home, the adaptive classifier
+            # may switch the page's per-page protocol.  No-ops under MSI.
+            was_sharer = node in self.directory.sharers(page)
+            new_home, reclassified = self.policy.observe(node, page, write)
+            if new_home is not None:
+                proto.home_migrations += 1
+                self.run_stats.service(self.name).home_migrations += 1
+                self.trace.emit("page", new_home, "home migrated", page=page)
+            if reclassified:
+                proto.adaptive_reclassifications += 1
+                self.run_stats.service(self.name).reclassifications += 1
 
             plan = self.directory.plan(node, page, write)
             fetch_from = plan.fetch_from
@@ -386,12 +445,41 @@ class CoherenceService:
                 # a grant to a dead node (the eviction already scrubbed it).
                 proto.dead_peer_skips += 1
                 return
-            data = self.home_snapshot(page)
-            self.directory.commit(node, page, write)
-            self.trace.emit(
-                "page", node, "grant M" if write else "grant S", page=page
+            if write:
+                if was_sharer:
+                    proto.write_upgrades += 1
+                self.directory.commit(node, page, write=True)
+                if was_sharer and self.policy.upgrade_without_payload(node, page):
+                    # The requester's Shared copy is current by protocol
+                    # invariant (no invalidate can be in flight to it while
+                    # the directory lists it as sharer under this page's
+                    # lock) — so the grant is a payload-free upgrade ack.
+                    proto.upgrade_acks += 1
+                    self.trace.emit("page", node, "grant M (upgrade ack)", page=page)
+                    self.endpoint.reply(msg, PageData(page=page, write=True, upgrade=True))
+                    return
+                self.trace.emit("page", node, "grant M", page=page)
+                self.endpoint.reply(
+                    msg, PageData(page=page, write=True, data=self.home_snapshot(page))
+                )
+                return
+            # Read grant: an idle entry (no owner, no sharers — including
+            # the just-scrubbed dead-owner case) may be granted
+            # Exclusive-clean under MESI-family policies.
+            exclusive = self.directory.peek(page).is_idle() and self.policy.grant_exclusive(
+                node, page
             )
-            self.endpoint.reply(msg, PageData(page=page, write=write, data=data))
+            data = self.home_snapshot(page)
+            self.directory.commit(node, page, write=False, exclusive=exclusive)
+            if exclusive:
+                proto.exclusive_grants += 1
+                self.run_stats.service(self.name).exclusive_grants += 1
+            self.trace.emit(
+                "page", node, "grant E" if exclusive else "grant S", page=page
+            )
+            self.endpoint.reply(
+                msg, PageData(page=page, write=False, data=data, exclusive=exclusive)
+            )
         finally:
             lock.release()
 

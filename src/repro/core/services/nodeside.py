@@ -55,6 +55,9 @@ class NodeCoherenceService(_NodeService):
         bundle = self._bundle(msg)
         data = None
         if msg.page in bundle.pagestore:
+            # Only a Modified copy carries content the home lacks; Shared
+            # and Exclusive-clean copies drop without payload (the home is
+            # still current for both).
             if bundle.pagestore.state(msg.page) is MSIState.MODIFIED:
                 data = bundle.pagestore.snapshot(msg.page)
             bundle.pagestore.drop(msg.page)
@@ -66,7 +69,14 @@ class NodeCoherenceService(_NodeService):
 
     def _on_write_back(self, msg):
         bundle = self._bundle(msg)
-        data = bundle.pagestore.snapshot(msg.page)
+        # An Exclusive copy that was never written is clean by definition —
+        # the master's home copy is still current, so the downgrade acks
+        # without the 4 KiB payload (MESI's cheap E→S).  A silently
+        # upgraded copy is Modified by then and writes back as usual.
+        if bundle.pagestore.state(msg.page) is MSIState.EXCLUSIVE:
+            data = None
+        else:
+            data = bundle.pagestore.snapshot(msg.page)
         bundle.pagestore.set_state(msg.page, MSIState.SHARED)
         self.endpoint.reply(msg, InvalidateAck(page=msg.page, data=data))
         return

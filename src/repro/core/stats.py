@@ -80,6 +80,20 @@ class ProtocolStats:
     dead_peer_skips: int = 0
     lost_wakes: int = 0
     spawn_failovers: int = 0
+    #: Write grants to a node that already held the page Shared — the
+    #: S→M "upgrade round trip" MESI exists to eliminate.  Counted under
+    #: every protocol (pure telemetry, no timing effect), so experiments
+    #: can report how many of them a protocol removed.
+    write_upgrades: int = 0
+    #: Coherence-protocol telemetry (docs/PROTOCOL.md "Coherence
+    #: protocols"); all zero under the default MSI protocol.
+    exclusive_grants: int = 0  # read faults granted Exclusive-clean (MESI)
+    silent_upgrades: int = 0  # node-local E→M upgrades (round trips saved)
+    upgrade_acks: int = 0  # payload-free S→M grants (no 4 KiB payload)
+    home_migrations: int = 0  # page homes migrated to a dominant writer
+    home_local_hits: int = 0  # requests fast-served at a migrated home
+    home_remote_misses: int = 0  # other-node requests paying the extra hop
+    adaptive_reclassifications: int = 0  # per-page protocol switches
 
 
 @dataclass
@@ -129,6 +143,13 @@ class ServiceStats:
     service evacuated to healthy peers, threads it had to declare lost
     (context unrecoverable after a hard crash), and directory pages it
     re-homed / wrote off when their holder died.
+
+    The coherence-protocol counters (docs/PROTOCOL.md "Coherence
+    protocols") follow the same conditional-column rule: the master
+    coherence service fills ``exclusive_grants`` / ``home_migrations`` /
+    ``reclassifications``, the node-side mirror fills ``silent_upgrades``
+    (E→M flips that cost no master round trip).  All zero — and absent
+    from rendered tables — under the default MSI protocol.
     """
 
     name: str = ""
@@ -143,6 +164,10 @@ class ServiceStats:
     lost_threads: int = 0
     rehomed_pages: int = 0
     lost_pages: int = 0
+    exclusive_grants: int = 0
+    silent_upgrades: int = 0
+    home_migrations: int = 0
+    reclassifications: int = 0
     shards: dict[int, ShardLoadStats] = field(default_factory=dict)
 
     def shard(self, k: int) -> ShardLoadStats:

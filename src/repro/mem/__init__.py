@@ -14,6 +14,14 @@ from repro.mem.layout import (
 )
 from repro.mem.msi import MSIState
 from repro.mem.pagestore import PageStore
+from repro.mem.protocols import (
+    PROTOCOL_NAMES,
+    AdaptivePolicy,
+    CoherencePolicy,
+    MESIPolicy,
+    MigrationPolicy,
+    make_policy,
+)
 from repro.mem.sharding import (
     ShadowPageAllocator,
     ShardedDirectoryView,
@@ -22,12 +30,17 @@ from repro.mem.sharding import (
 )
 
 __all__ = [
+    "AdaptivePolicy",
+    "CoherencePolicy",
     "FlatMemory",
     "M64",
+    "MESIPolicy",
     "MMAP_BASE",
     "MSIState",
     "MemoryAPI",
+    "MigrationPolicy",
     "PAGE_SIZE",
+    "PROTOCOL_NAMES",
     "PageStall",
     "PageStore",
     "SHADOW_BASE",
@@ -37,6 +50,7 @@ __all__ = [
     "ShardedSplitView",
     "TEXT_BASE",
     "check_span",
+    "make_policy",
     "page_base",
     "page_of",
     "page_offset",

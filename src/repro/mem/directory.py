@@ -88,10 +88,18 @@ class Directory:
 
     # -- commit ------------------------------------------------------------
 
-    def commit(self, node: int, page: int, write: bool) -> None:
-        """Apply the grant after the plan's actions were carried out."""
+    def commit(self, node: int, page: int, write: bool, exclusive: bool = False) -> None:
+        """Apply the grant after the plan's actions were carried out.
+
+        ``exclusive`` records a MESI Exclusive-clean read grant: the node
+        becomes *owner* even though its copy is clean, because the holder
+        may silently upgrade E→M at any time without telling the master —
+        so every later transaction must treat the copy as possibly dirty
+        (peer reads fetch/write it back, exactly like a Modified owner).
+        Only valid when the entry is idle; the caller guarantees it.
+        """
         ent = self.entry(page)
-        if write:
+        if write or exclusive:
             ent.owner = node
             ent.sharers = set()
         else:
@@ -123,10 +131,17 @@ class Directory:
         Returns ``(rehomed, lost)`` page lists: *rehomed* pages were Shared
         on the dead node — the home copy (and any surviving sharers) remain
         authoritative, so dropping the dead copy loses nothing.  *Lost*
-        pages were Modified on the dead node — their only current content
+        pages were owned by the dead node — their only current content
         died with it, and the stale home copy is silently promoted so
         future readers get *a* value instead of a deadlock.  The caller
         surfaces the count; the data loss is real and reported, not hidden.
+
+        An Exclusive-clean grantee (MESI) is tracked as owner too, and is
+        *conservatively* counted lost: the holder may have silently
+        upgraded E→M without telling the master, so the directory cannot
+        know whether the home copy is still current.  That pessimism is
+        the failure-domain price of the silent upgrade's saved round trip
+        (docs/PROTOCOL.md "Coherence protocols").
         """
         rehomed: list[int] = []
         lost: list[int] = []

@@ -1,8 +1,16 @@
-"""MSI coherence states (paper §3.2).
+"""Page coherence states (paper §3.2, extended with MESI's Exclusive).
 
-DQEMU uses a page-level, directory-based MSI protocol: each node's copy of a
-page is Modified, Shared or Invalid; the master's directory records the owner
-and sharer set per page.
+DQEMU uses a page-level, directory-based protocol: each node's copy of a
+page is Modified, Exclusive, Shared or Invalid; the master's directory
+records the owner and sharer set per page.
+
+The paper's protocol is plain MSI.  ``EXCLUSIVE`` is the MESI extension
+(docs/PROTOCOL.md "Coherence protocols"): a clean, sole copy granted on a
+read fault that found no other holder.  It reads like Shared but can be
+*silently* upgraded to Modified by the holding node without a master round
+trip — which is the entire point: the Shared→Modified upgrade round trip on
+first write disappears.  The state only ever exists when a non-MSI
+``DQEMUConfig.coherence_protocol`` grants it; default runs never see it.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ __all__ = ["MSIState"]
 
 class MSIState(enum.Enum):
     MODIFIED = "M"
+    EXCLUSIVE = "E"
     SHARED = "S"
     INVALID = "I"
 
@@ -21,4 +30,7 @@ class MSIState(enum.Enum):
         return self is not MSIState.INVALID
 
     def writable(self) -> bool:
+        # EXCLUSIVE is deliberately not writable here: the node-side silent
+        # E->M upgrade (PageStore.silently_upgrade) is an explicit, counted
+        # transition, not an implicit property of the state.
         return self is MSIState.MODIFIED

@@ -41,6 +41,16 @@ class PageStore:
     def has_write(self, page: int) -> bool:
         return self._states.get(page) is MSIState.MODIFIED
 
+    def silently_upgrade(self, page: int) -> bool:
+        """MESI's silent E→M transition: an Exclusive-clean copy becomes
+        Modified with no master round trip (docs/PROTOCOL.md "Coherence
+        protocols").  Returns whether the upgrade happened — the caller
+        counts it as a saved round trip.  Any other state is untouched."""
+        if self._states.get(page) is MSIState.EXCLUSIVE:
+            self._states[page] = MSIState.MODIFIED
+            return True
+        return False
+
     # -- page installation ------------------------------------------------------
 
     def install(self, page: int, data: bytes, state: MSIState) -> None:

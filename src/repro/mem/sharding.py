@@ -85,15 +85,30 @@ class ShardedDirectoryView:
     Each query routes to the owning shard, so the view is exactly as current
     as the partitions themselves.  Mutations stay shard-local by design —
     this view exposes none.
+
+    ``policies`` optionally carries the per-shard
+    :class:`~repro.mem.protocols.CoherencePolicy` objects alongside the
+    directories, so tests and debuggers can ask where a page's *home*
+    currently lives (:meth:`home_of`) under the migrating protocols.
     """
 
-    def __init__(self, directories: Iterable["Directory"]):
+    def __init__(self, directories: Iterable["Directory"], policies=None):
         self.shards: list["Directory"] = list(directories)
         if not self.shards:
             raise ConfigError("ShardedDirectoryView needs at least one shard")
+        self.policies = list(policies) if policies is not None else None
+        if self.policies is not None and len(self.policies) != len(self.shards):
+            raise ConfigError("one policy per directory shard required")
 
     def _of(self, page: int) -> "Directory":
         return self.shards[shard_of(page, len(self.shards))]
+
+    def home_of(self, page: int) -> Optional[int]:
+        """Node the page's home migrated to, or ``None`` (home = master —
+        always the answer when no policies were registered)."""
+        if self.policies is None:
+            return None
+        return self.policies[shard_of(page, len(self.shards))].home_of(page)
 
     def peek(self, page: int) -> "DirEntry":
         return self._of(page).peek(page)
@@ -125,10 +140,12 @@ class TenantDirectoryView:
     def __init__(self) -> None:
         self._views: dict[int, ShardedDirectoryView] = {}
 
-    def add_tenant(self, tenant: int, directories: Iterable["Directory"]) -> None:
+    def add_tenant(
+        self, tenant: int, directories: Iterable["Directory"], policies=None
+    ) -> None:
         if tenant in self._views:
             raise ConfigError(f"tenant {tenant} already registered")
-        self._views[tenant] = ShardedDirectoryView(directories)
+        self._views[tenant] = ShardedDirectoryView(directories, policies)
 
     def for_tenant(self, tenant: int) -> ShardedDirectoryView:
         try:
@@ -141,6 +158,9 @@ class TenantDirectoryView:
 
     def owner(self, tenant: int, page: int) -> Optional[int]:
         return self.for_tenant(tenant).owner(page)
+
+    def home_of(self, tenant: int, page: int) -> Optional[int]:
+        return self.for_tenant(tenant).home_of(page)
 
     def tenants(self) -> tuple[int, ...]:
         return tuple(sorted(self._views))

@@ -100,6 +100,15 @@ class PageData(Message):
     #: The node already holds the page (a demand fault raced a forwarded
     #: page): no payload needed, the frame is a bare directory ack.
     ack_only: bool = False
+    #: MESI Exclusive-clean read grant (docs/PROTOCOL.md "Coherence
+    #: protocols"): no other node holds the page, so the receiver installs
+    #: it E and may later upgrade E→M locally with no master round trip.
+    #: Never set under the default MSI protocol.
+    exclusive: bool = False
+    #: Payload-free Shared→Modified upgrade grant: the requester already
+    #: holds a current copy (it was a sharer), so the reply carries no
+    #: data — it just flips the local state to M.  Never set under MSI.
+    upgrade: bool = False
 
     def payload_bytes(self) -> int:
         return len(self.data)

@@ -112,8 +112,8 @@ class TestAsmCli:
 class TestExperimentsCli:
     def test_registry_covers_every_artifact(self):
         assert set(exp_cli.EXPERIMENTS) == {
-            "fig5", "fig5_crash", "fig5_sharded", "fig6", "table1", "fig7",
-            "fig8", "ablations",
+            "fig5", "fig5_crash", "fig5_sharded", "fig6",
+            "fig6_coherence", "table1", "fig7", "fig8", "ablations",
         }
 
     def test_small_fig5_run(self, capsys, monkeypatch, tmp_path):

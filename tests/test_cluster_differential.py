@@ -11,6 +11,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import Cluster, DQEMUConfig
 from repro.baselines import run_qemu
+from repro.mem.protocols import PROTOCOL_NAMES
 from repro.workloads.common import emit_fanout_main, workload_builder
 
 LONG = dict(max_virtual_ms=600_000)
@@ -111,3 +112,22 @@ def test_optimizations_are_semantically_invisible(case):
     )
     r = Cluster(3, cfg).run(prog, **LONG)
     assert r.stdout == expected
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(fanout_programs())
+def test_coherence_protocols_are_semantically_invisible(case):
+    # Exclusive grants, silent upgrades, payload-free upgrade acks and home
+    # migration change WHEN pages move, never WHAT the guest computes: every
+    # protocol must print the analytically expected result.
+    prog, expected, _ = case
+    for protocol in PROTOCOL_NAMES:
+        cfg = DQEMUConfig(
+            coherence_protocol=protocol,
+            migration_trigger=2,
+            adaptive_window=4,
+        )
+        r = Cluster(3, cfg).run(prog, **LONG)
+        assert r.stdout == expected, protocol
+        assert r.exit_code == 0, protocol

@@ -1,0 +1,296 @@
+"""Coherence-protocol layer: policy units, MESI states, end-to-end counters.
+
+The policy objects are plain bookkeeping (no simulator), so the classifier,
+hysteresis and migration triggers are tested directly; the end-to-end class
+runs small clusters per protocol and checks the counters line up with what
+the protocol is supposed to do on the wire.
+"""
+
+import pytest
+
+from repro import Cluster, DQEMUConfig
+from repro.analysis.reporting import render_service_breakdown
+from repro.cli.run import build_parser
+from repro.errors import ConfigError
+from repro.mem import MSIState, PageStore
+from repro.mem.directory import Directory
+from repro.mem.protocols import (
+    PROTOCOL_NAMES,
+    AdaptivePolicy,
+    CoherencePolicy,
+    MESIPolicy,
+    MigrationPolicy,
+    make_policy,
+)
+from repro.workloads import memaccess, pi_taylor
+
+
+class TestMSIState:
+    def test_exclusive_is_readable_not_writable(self):
+        assert MSIState.EXCLUSIVE.readable()
+        assert not MSIState.EXCLUSIVE.writable()
+
+    def test_modified_is_both(self):
+        assert MSIState.MODIFIED.readable()
+        assert MSIState.MODIFIED.writable()
+
+    def test_silently_upgrade_flips_only_exclusive(self):
+        store = PageStore()
+        store.install(7, b"\x00" * 4096, MSIState.EXCLUSIVE)
+        assert store.silently_upgrade(7)
+        assert store.state(7) is MSIState.MODIFIED
+        # Already Modified (or Shared, or absent): no flip.
+        assert not store.silently_upgrade(7)
+        store.install(8, b"\x00" * 4096, MSIState.SHARED)
+        assert not store.silently_upgrade(8)
+        assert store.state(8) is MSIState.SHARED
+        assert not store.silently_upgrade(9)
+
+
+class TestDirectoryExclusive:
+    def test_exclusive_commit_records_owner(self):
+        d = Directory()
+        d.commit(3, 100, write=False, exclusive=True)
+        assert d.owner(100) == 3
+        assert d.sharers(100) == frozenset()
+
+    def test_peer_read_after_exclusive_fetches_from_owner(self):
+        d = Directory()
+        d.commit(3, 100, write=False, exclusive=True)
+        plan = d.plan(4, 100, write=False)
+        # The E holder may have silently upgraded: treat it as an owner.
+        assert plan.fetch_from == 3
+        assert plan.downgrade == 3
+
+    def test_evict_exclusive_owner_counts_page_lost(self):
+        d = Directory()
+        d.commit(3, 100, write=False, exclusive=True)
+        rehomed, lost = d.evict_node(3)
+        assert lost == [100]
+        assert d.peek(100).is_idle()
+
+
+class TestPolicies:
+    def test_make_policy_covers_all_names(self):
+        for name in PROTOCOL_NAMES:
+            policy = make_policy(DQEMUConfig(coherence_protocol=name))
+            assert policy.name == name
+
+    def test_msi_policy_is_all_noops(self):
+        p = CoherencePolicy()
+        assert p.observe(1, 100, write=True) == (None, False)
+        assert not p.grant_exclusive(1, 100)
+        assert not p.upgrade_without_payload(1, 100)
+        assert p.home_of(100) is None
+        assert p.evict_node(1) == []
+
+    def test_mesi_policy_grants(self):
+        p = MESIPolicy()
+        assert p.grant_exclusive(1, 100)
+        assert p.upgrade_without_payload(1, 100)
+        assert p.home_of(100) is None
+
+    def test_migration_fires_on_write_streak(self):
+        p = MigrationPolicy(trigger=3)
+        assert p.observe(1, 100, write=True) == (None, False)
+        assert p.observe(1, 100, write=True) == (None, False)
+        assert p.observe(1, 100, write=True) == (1, False)
+        assert p.home_of(100) == 1
+
+    def test_migration_streak_reset_by_other_writer(self):
+        p = MigrationPolicy(trigger=3)
+        p.observe(1, 100, write=True)
+        p.observe(1, 100, write=True)
+        p.observe(2, 100, write=True)  # steals the streak
+        assert p.observe(1, 100, write=True) == (None, False)
+        assert p.home_of(100) is None
+
+    def test_migration_reads_do_not_break_streak(self):
+        # A producer whose writes are interleaved with consumer reads is
+        # still a dominant writer.
+        p = MigrationPolicy(trigger=3)
+        p.observe(1, 100, write=True)
+        p.observe(2, 100, write=False)
+        p.observe(1, 100, write=True)
+        p.observe(3, 100, write=False)
+        assert p.observe(1, 100, write=True) == (1, False)
+
+    def test_migration_evict_reverts_homes(self):
+        p = MigrationPolicy(trigger=1)
+        p.observe(1, 100, write=True)
+        p.observe(1, 200, write=True)
+        p.observe(2, 300, write=True)
+        assert p.evict_node(1) == [100, 200]
+        assert p.home_of(100) is None
+        assert p.home_of(300) == 2
+
+
+class TestAdaptiveClassifier:
+    def window(self, p, page, accesses):
+        """Feed (node, write) pairs; return True if any reclassification."""
+        return any(p.observe(n, page, write=w)[1] for n, w in accesses)
+
+    def test_pages_start_as_mesi(self):
+        p = AdaptivePolicy(trigger=4, window=4)
+        assert p.grant_exclusive(1, 100)
+
+    def test_read_only_page_reclassifies_to_msi_with_hysteresis(self):
+        p = AdaptivePolicy(trigger=4, window=4)
+        reads = [(n, False) for n in (1, 2, 3, 1)]
+        # First window: verdict msi goes pending, mode stays mesi.
+        assert not self.window(p, 100, reads)
+        assert p.grant_exclusive(1, 100)
+        # Second consecutive window with the same verdict: switch.
+        assert self.window(p, 100, reads)
+        assert not p.grant_exclusive(1, 100)
+
+    def test_flapping_verdict_never_switches(self):
+        p = AdaptivePolicy(trigger=4, window=4)
+        reads = [(n, False) for n in (1, 2, 3, 1)]
+        writes = [(n, True) for n in (1, 2, 3, 1)]
+        assert not self.window(p, 100, reads)  # msi pending
+        # Ping-pong writes produce the same msi verdict: a second
+        # consecutive window with one verdict IS a legitimate switch.
+        assert self.window(p, 100, writes)
+        assert not p.grant_exclusive(1, 100)
+        # But alternating single-writer/multi-writer windows never settle:
+        p2 = AdaptivePolicy(trigger=4, window=4)
+        single = [(1, True)] * 4
+        multi = [(1, True), (2, True), (1, True), (2, True)]
+        assert not self.window(p2, 100, multi)   # msi pending
+        assert not self.window(p2, 100, single)  # migrate pending (replaces)
+        assert not self.window(p2, 100, multi)   # msi pending again
+        assert p2.grant_exclusive(1, 100)        # still in the initial mesi
+
+    def test_single_writer_write_dominated_migrates(self):
+        p = AdaptivePolicy(trigger=2, window=4)
+        burst = [(1, True), (1, True), (1, True), (1, True)]
+        assert not self.window(p, 100, burst)  # migrate pending
+        assert self.window(p, 100, burst)      # mode -> migrate
+        # Now in migrate mode, the write streak triggers the home move.
+        new_home, _ = p.observe(1, 100, write=True)
+        assert new_home == 1 or p.home_of(100) == 1
+
+    def test_leaving_migrate_reverts_home(self):
+        p = AdaptivePolicy(trigger=2, window=4)
+        burst = [(1, True)] * 4
+        self.window(p, 100, burst)
+        self.window(p, 100, burst)
+        p.observe(1, 100, write=True)
+        assert p.home_of(100) == 1
+        pingpong = [(1, True), (2, True), (1, True), (2, True)]
+        self.window(p, 100, pingpong)  # msi pending (3 observes + the one above)
+        assert self.window(p, 100, pingpong)
+        assert p.home_of(100) is None
+
+    def test_evict_scrubs_dead_node(self):
+        p = AdaptivePolicy(trigger=2, window=4)
+        burst = [(1, True)] * 4
+        self.window(p, 100, burst)
+        self.window(p, 100, burst)
+        p.observe(1, 100, write=True)
+        assert p.evict_node(1) == [100]
+        assert p.home_of(100) is None
+
+
+class TestConfigAndCLI:
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError, match="coherence protocol"):
+            DQEMUConfig(coherence_protocol="mosi")
+
+    def test_bad_trigger_and_window_rejected(self):
+        with pytest.raises(ConfigError):
+            DQEMUConfig(migration_trigger=0)
+        with pytest.raises(ConfigError):
+            DQEMUConfig(adaptive_window=1)
+        with pytest.raises(ConfigError):
+            DQEMUConfig(migration_penalty_ns=-1)
+
+    def test_cli_flag_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["prog.s", "--coherence-protocol", "mesi"])
+        assert args.coherence_protocol == "mesi"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["prog.s", "--coherence-protocol", "mosi"])
+
+    def test_time_scaled_keeps_protocol(self):
+        cfg = DQEMUConfig(coherence_protocol="migrate").time_scaled(10)
+        assert cfg.coherence_protocol == "migrate"
+        assert cfg.migration_penalty_ns == 16_000
+
+
+class TestEndToEnd:
+    def run_rmw(self, protocol, **cfg_kw):
+        prog = memaccess.build_private_rmw(
+            n_threads=4, n_nodes=2, pages_per_thread=4, passes=2
+        )
+        cfg = DQEMUConfig(coherence_protocol=protocol, adaptive_window=8, **cfg_kw)
+        return Cluster(2, cfg).run(prog, max_virtual_ms=60_000_000)
+
+    def test_msi_never_uses_new_machinery(self):
+        res = self.run_rmw("msi")
+        p = res.stats.protocol
+        assert res.exit_code == 0
+        assert p.exclusive_grants == 0
+        assert p.silent_upgrades == 0
+        assert p.upgrade_acks == 0
+        assert p.home_migrations == 0
+        assert p.home_local_hits == 0
+        assert p.home_remote_misses == 0
+
+    def test_mesi_silent_upgrades_on_private_pages(self):
+        msi = self.run_rmw("msi")
+        mesi = self.run_rmw("mesi")
+        assert mesi.exit_code == 0
+        p = mesi.stats.protocol
+        private_pages = 4 * 4
+        assert p.exclusive_grants >= private_pages
+        assert p.silent_upgrades >= private_pages
+        # Each silent upgrade is an S->M round trip MSI had to pay.
+        assert (
+            p.write_upgrades
+            <= msi.stats.protocol.write_upgrades - private_pages
+        )
+        assert mesi.virtual_ns < msi.virtual_ns
+
+    def test_identical_guest_output_across_protocols(self):
+        ref = None
+        for protocol in PROTOCOL_NAMES:
+            res = self.run_rmw(protocol)
+            assert res.exit_code == 0
+            checksum = res.stdout.strip().splitlines()[-1]
+            if ref is None:
+                ref = checksum
+            assert checksum == ref
+
+    def test_migrate_moves_home_and_serves_locally(self):
+        prog = memaccess.build_private_rmw(
+            n_threads=4, n_nodes=2, pages_per_thread=4, passes=2,
+            bcast_beat=8,
+        )
+        # Readers racing the broadcast writer cap its write-acquisition
+        # streak at 3 in this small run; trigger at 2 so the migration
+        # fires with an acquisition still to come (the local hit).
+        cfg = DQEMUConfig(coherence_protocol="migrate", migration_trigger=2)
+        res = Cluster(2, cfg).run(prog, max_virtual_ms=60_000_000)
+        p = res.stats.protocol
+        assert res.exit_code == 0
+        assert p.home_migrations > 0
+        assert p.home_local_hits > 0
+
+    def test_service_breakdown_columns_conditional(self):
+        msi = self.run_rmw("msi")
+        mesi = self.run_rmw("mesi")
+        assert "E grants" not in render_service_breakdown(msi.stats)
+        assert "E grants" in render_service_breakdown(mesi.stats)
+
+    def test_pi_taylor_all_protocols(self):
+        prog = pi_taylor.build(n_threads=4, terms=100, reps=2)
+        ref = None
+        for protocol in PROTOCOL_NAMES:
+            cfg = DQEMUConfig(coherence_protocol=protocol, adaptive_window=8)
+            res = Cluster(2, cfg).run(prog, max_virtual_ms=60_000_000)
+            assert res.exit_code == 0
+            if ref is None:
+                ref = res.stdout
+            assert res.stdout == ref

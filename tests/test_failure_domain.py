@@ -24,7 +24,7 @@ from repro.net.health import ClusterHealthView, HealthTracker, PeerState
 from repro.net.messages import PageRequest
 from repro.net.rpc import RetryPolicy, RpcTimeout
 from repro.sim import Simulator
-from repro.workloads import blackscholes
+from repro.workloads import blackscholes, memaccess
 
 RETRY = RetryPolicy(max_retries=3, backoff_base_ns=10_000)
 
@@ -273,6 +273,19 @@ class TestConfigValidation:
 
 
 class TestDirectoryRehoming:
+    def test_evict_exclusive_grantee_counts_page_lost(self):
+        # An Exclusive-clean grantee is recorded as an owner: it may have
+        # silently upgraded to Modified without telling the master, so
+        # eviction must write the page off conservatively, exactly like a
+        # Modified owner.
+        d = Directory()
+        d.commit(3, page=1, write=False, exclusive=True)
+        d.commit(3, page=2, write=False)  # plain Shared copy on the victim
+        rehomed, lost = d.evict_node(3)
+        assert lost == [1]
+        assert rehomed == [2]
+        assert d.peek(1).is_idle()
+
     def test_evict_node_promotes_shared_and_counts_modified(self):
         d = Directory()
         d.commit(3, page=1, write=True)  # n3 owns page 1 (Modified)
@@ -416,3 +429,72 @@ class TestCrashTolerance:
         r = _run(health_suspect_after=3, health_down_after=9)
         assert r.health.suspect_after == 3
         assert r.health.down_after == 9
+
+
+# -- coherence protocols × failure domains -------------------------------------
+
+
+class TestCoherenceProtocolCrashes:
+    """The non-MSI protocols must ride out the same crashes MSI does."""
+
+    RMW_KW = dict(n_threads=6, n_nodes=3, pages_per_thread=4, passes=3,
+                  bcast_beat=8)
+
+    def _rmw_run(self, protocol, trace=False, **cfg_kw):
+        prog = memaccess.build_private_rmw(**self.RMW_KW)
+        # Readers racing the broadcast writer keep its write-acquisition
+        # streak short, so trigger at 3 to make the home migration fire.
+        cfg = DQEMUConfig(
+            coherence_protocol=protocol, adaptive_window=8,
+            migration_trigger=3, **cfg_kw
+        ).time_scaled(100.0)
+        return Cluster(3, cfg, trace=trace).run(prog, max_virtual_ms=60_000_000)
+
+    def test_crash_with_exclusive_pages_completes_degraded(self):
+        # The victim holds Exclusive-clean grants when it dies; eviction
+        # writes them off conservatively and the run still finishes.
+        clean = self._rmw_run("mesi")
+        assert clean.stats.protocol.exclusive_grants > 0
+        plan = FaultPlan.crash(2, int(clean.virtual_ns * 0.4), seed=3)
+        r = self._rmw_run(
+            "mesi", fault_plan=plan,
+            evacuation_enabled=True, health_aware_placement=True, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        rec = r.failures.nodes[2]
+        assert rec.kind == "crash"
+        assert r.stats.protocol.exclusive_grants > 0
+
+    def test_migrated_home_on_crashed_node_reverts(self):
+        # Find where the home migration lands, then kill exactly that node:
+        # the policy must revert the page's home to the master and the run
+        # must still complete.
+        clean = self._rmw_run("migrate", trace=True)
+        migrations = [
+            ev for ev in clean.trace.events if ev.what == "home migrated"
+        ]
+        assert migrations, "workload no longer triggers a home migration"
+        victim = migrations[0].node
+        crash_at = int(migrations[0].ts_ns + 1)
+        plan = FaultPlan.crash(victim, crash_at, seed=4)
+        r = self._rmw_run(
+            "migrate", trace=True, fault_plan=plan,
+            evacuation_enabled=True, health_aware_placement=True, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        reverted = [
+            ev for ev in r.trace.events if ev.what == "home reverted to master"
+        ]
+        assert reverted and all(ev.node == victim for ev in reverted)
+        # Once reverted, no later request is billed against the dead home.
+        assert r.failures.nodes[victim].kind == "crash"
+
+    def test_adaptive_rides_out_crash(self):
+        clean = self._rmw_run("adaptive")
+        plan = FaultPlan.crash(1, int(clean.virtual_ns * 0.5), seed=5)
+        r = self._rmw_run(
+            "adaptive", fault_plan=plan,
+            evacuation_enabled=True, health_aware_placement=True, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        assert r.failures.nodes[1].kind == "crash"
