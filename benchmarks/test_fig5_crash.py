@@ -1,22 +1,27 @@
-"""Node-crash tolerance experiment (crash / evacuate / drain).
+"""Node-crash tolerance experiment (crash / evacuate / checkpoint / drain).
 
 ``test_fig5_crash`` regenerates the crash-tolerance table
-(``benchmarks/results/services_fig5_crash.txt``) and asserts its shape
-claims: a mid-kernel crash of one slave aborts the run with a
-``ServiceTimeout`` when the failure domain is disarmed (the seed behavior),
-completes degraded when evacuation is armed (threads whose contexts died
-with the node are reaped and reported lost, its directory footprint is
-re-homed), and completes without casualties under a cooperative drain.
+(``benchmarks/results/services_fig5_crash.txt``) plus machine-readable
+``benchmarks/results/BENCH_crash.json`` and asserts its shape claims: a
+mid-kernel crash of one slave aborts the run with a ``ServiceTimeout`` when
+the failure domain is disarmed (the seed behavior), completes degraded when
+evacuation is armed (threads whose contexts died with the node are reaped
+and reported lost, its directory footprint is re-homed), completes without
+casualties under a cooperative drain, and — across the checkpoint-interval
+sweep — restores the victim's threads from their last snapshots, trading
+checkpoint wire bytes against rollback distance.
 
 ``test_crash_smoke_matrix`` is the seeded crash-matrix smoke run CI
 executes once per slave via the ``DQEMU_SMOKE_CRASH_NODE`` environment
-variable.  It deliberately does not use the benchmark fixture, so the main
-benchmarks job (``--benchmark-only``) skips it.
+variable (and once per checkpoint arm via ``DQEMU_SMOKE_CHECKPOINT``).
+It deliberately does not use the benchmark fixture, so the main benchmarks
+job (``--benchmark-only``) skips it.
 """
 
+import json
 import os
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import RESULTS_DIR, run_once
 from repro import Cluster, DQEMUConfig
 from repro.analysis.experiments import run_fig5_crash
 from repro.net.faults import FaultPlan
@@ -26,6 +31,9 @@ from repro.workloads import blackscholes
 def test_fig5_crash(benchmark, record_result):
     result = run_once(benchmark, run_fig5_crash)
     record_result("services_fig5_crash", result.render())
+    (RESULTS_DIR / "BENCH_crash.json").write_text(
+        json.dumps(result.as_json_dict(), indent=2, sort_keys=True) + "\n"
+    )
 
     clean = result.scenario("no faults")
     assert clean.completed
@@ -64,14 +72,40 @@ def test_fig5_crash(benchmark, record_result):
     assert drain.lost_threads == 0 and drain.lost_pages == 0
     assert drain.recovery_ns is not None and drain.recovery_ns > 0
 
-    # The committed table carries the failure-domain columns.
+    # Checkpoint-interval sweep: snapshots turn the same crash's casualties
+    # into rollbacks.  Some finite interval achieves zero loss, and the
+    # interval trades checkpoint wire bytes against rollback distance.
+    sweep = result.checkpoint_scenarios()
+    assert len(sweep) >= 2
+    assert all(s.completed for s in sweep)
+    assert any(s.lost_threads == 0 and s.restored_threads > 0 for s in sweep)
+    by_interval = sorted(sweep, key=lambda s: s.checkpoint_interval_ns)
+    bytes_by_interval = [s.checkpoint_bytes for s in by_interval]
+    assert bytes_by_interval == sorted(bytes_by_interval, reverse=True)
+    rollbacks = [
+        s.mean_rollback_ns for s in by_interval if s.mean_rollback_ns is not None
+    ]
+    assert rollbacks and rollbacks[-1] > rollbacks[0]
+    # Every restored thread rolled back at most one detection span plus one
+    # checkpoint interval (the snapshot it restored from was the newest).
+    for s in by_interval:
+        if s.mean_rollback_ns is not None:
+            assert s.mean_rollback_ns > 0
+
+    # The committed tables carry the failure-domain columns; the restored
+    # column appears in the checkpoint run's breakdown.
     assert "lost threads" in result.evacuated_breakdown
     assert "rehomed pages" in result.evacuated_breakdown
+    assert "restored" in result.checkpoint_breakdown
+    assert "checkpoint" in result.checkpoint_breakdown
+    # The default (no-checkpoint) breakdown gains no checkpoint service row.
+    assert "checkpoint" not in result.evacuated_breakdown
 
 
 def test_crash_smoke_matrix():
     """Seeded crash smoke run, parameterized by CI's crash-matrix job."""
     victim = int(os.environ.get("DQEMU_SMOKE_CRASH_NODE", "1"))
+    checkpointed = os.environ.get("DQEMU_SMOKE_CHECKPOINT", "0") == "1"
     n_slaves = 3
     prog = blackscholes.build(n_threads=6, n_options=2040, reps=4)
 
@@ -89,12 +123,17 @@ def test_crash_smoke_matrix():
 
     crash_at = int(0.35 * clean.virtual_ns)
     plan = FaultPlan.crash(victim, crash_at, seed=victim)
+    ckpt_kw = (
+        dict(checkpoint_interval_ns=max(1, clean.virtual_ns // 10))
+        if checkpointed else {}
+    )
     result = Cluster(
         n_slaves,
         cfg(
             fault_plan=plan,
             evacuation_enabled=True,
             health_aware_placement=True,
+            **ckpt_kw,
         ),
     ).run(prog, max_virtual_ms=60_000_000)
     assert result.exit_code == 0
@@ -102,5 +141,16 @@ def test_crash_smoke_matrix():
     rec = result.failures.nodes[victim]
     assert rec.kind == "crash"
     assert rec.recovered_ns is not None
-    # Everything the victim held is accounted for: evacuated or lost.
-    assert len(rec.evacuated) + len(rec.lost) > 0
+    # Everything the victim held is accounted for: evacuated, restored from
+    # a checkpoint, or lost.
+    assert len(rec.evacuated) + len(rec.restored) + len(rec.lost) > 0
+    if checkpointed:
+        # With snapshots every tenth of the run, at least one of the
+        # victim's threads restores, and its accounting is attributed.
+        assert rec.restored
+        assert result.stats.protocol.checkpoints_taken > 0
+        assert result.stats.services["failure"].restores == len(rec.restored)
+        assert all(rollback > 0 for _tid, _tgt, rollback in rec.restored)
+    else:
+        assert not rec.restored
+        assert result.stats.protocol.checkpoints_taken == 0

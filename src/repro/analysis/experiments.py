@@ -18,6 +18,7 @@ rows.  Scale notes:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -434,6 +435,12 @@ class CrashScenario:
     detection_ns: Optional[int]  # fault time -> failure detected/ordered
     recovery_ns: Optional[int]  # detected -> threads re-homed / drained
     failure: str = ""  # ServiceTimeout text when completed is False
+    # Checkpoint sweep columns (zero / None outside the checkpointed rows).
+    checkpoint_interval_ns: Optional[int] = None
+    restored_threads: int = 0
+    mean_rollback_ns: Optional[float] = None
+    checkpoints_taken: int = 0
+    checkpoint_bytes: int = 0
 
     def row(self) -> tuple:
         us = lambda v: "-" if v is None else v / 1e3
@@ -442,11 +449,15 @@ class CrashScenario:
             "yes" if self.completed else "ABORTED",
             us(self.virtual_ns),
             self.evacuated_threads,
+            self.restored_threads,
             self.lost_threads,
             self.rehomed_pages,
             self.lost_pages,
             us(self.detection_ns),
             us(self.recovery_ns),
+            us(self.mean_rollback_ns),
+            self.checkpoints_taken,
+            self.checkpoint_bytes // 1024,
         )
 
 
@@ -461,20 +472,39 @@ class Fig5CrashResult:
     ``ServiceTimeout`` — the seed behavior); the same crash with evacuation
     armed (the master declares the node dead, re-homes its directory
     footprint, reaps the threads whose contexts died with it, and the run
-    completes degraded); and a cooperative drain of the same node at the
-    same time (every thread is evacuated, nothing is lost).
+    completes degraded); a cooperative drain of the same node at the same
+    time (every thread is evacuated, nothing is lost); and the same crash
+    with periodic checkpointing armed at a sweep of intervals — the
+    interval trades checkpoint wire bytes against rollback distance, and at
+    a short enough interval every one of the victim's threads restores from
+    its last snapshot (zero loss).
     """
 
     scenarios: list[CrashScenario]
     evacuated_breakdown: str  # per-service table from the crash+evac run
     peer_states: dict[int, str]  # final health view of the crash+evac run
     params: dict
+    checkpoint_breakdown: str = ""  # from the shortest-interval checkpoint run
 
     def scenario(self, name: str) -> CrashScenario:
         for s in self.scenarios:
             if s.name == name:
                 return s
         raise KeyError(name)
+
+    def checkpoint_scenarios(self) -> list[CrashScenario]:
+        return [s for s in self.scenarios if s.checkpoint_interval_ns is not None]
+
+    def as_json_dict(self) -> dict:
+        """Machine-readable form for ``BENCH_crash.json`` (byte-stable)."""
+        return {
+            "experiment": "fig5_crash",
+            "params": dict(self.params),
+            "peer_states": {
+                str(nid): state for nid, state in self.peer_states.items()
+            },
+            "scenarios": [dataclasses.asdict(s) for s in self.scenarios],
+        }
 
     def render(self) -> str:
         table = render_table(
@@ -483,16 +513,20 @@ class Fig5CrashResult:
                 "completed",
                 "time (us)",
                 "evacuated",
+                "restored",
                 "lost threads",
                 "rehomed pages",
                 "lost M pages",
                 "detection (us)",
                 "recovery (us)",
+                "rollback (us)",
+                "ckpt frames",
+                "ckpt wire (KiB)",
             ],
             [s.row() for s in self.scenarios],
             title=(
                 "Fig. 5 (crash) — node-crash tolerance: evacuation, "
-                "re-homing, graceful degradation"
+                "checkpoint/restore, re-homing, graceful degradation"
             ),
         )
         aborted = [s for s in self.scenarios if not s.completed]
@@ -505,6 +539,9 @@ class Fig5CrashResult:
         lines.append(f"peer health after crash+evacuation run: {peers}")
         lines.append("")
         lines.append(self.evacuated_breakdown)
+        if self.checkpoint_breakdown:
+            lines.append("")
+            lines.append(self.checkpoint_breakdown)
         return "\n".join(lines)
 
 
@@ -521,6 +558,7 @@ def run_fig5_crash(
     crash_frac: float = 0.35,
     seed: int = 3,
     victim: Optional[int] = None,
+    checkpoint_fracs: Sequence[float] = (0.02, 0.05, 0.15),
 ) -> Fig5CrashResult:
     """Crash-tolerance sweep (see :class:`Fig5CrashResult`).
 
@@ -531,6 +569,10 @@ def run_fig5_crash(
     the retry budget of the first call aimed at the corpse; recovery
     latency is the span from detection to the last thread re-homed (for a
     drain: order sent to ``DrainComplete``).
+
+    ``checkpoint_fracs`` sweeps ``checkpoint_interval_ns`` as fractions of
+    the clean run's duration: shorter intervals spend more checkpoint wire
+    bytes and buy back rollback distance (and, short enough, zero loss).
     """
     prog = blackscholes.build(n_threads=n_threads, n_options=n_options, reps=reps)
     victim = n_slaves if victim is None else victim
@@ -545,12 +587,16 @@ def run_fig5_crash(
         cfg = DQEMUConfig(**cfg_kw).time_scaled(comm_scale)
         return Cluster(n_slaves, cfg).run(prog, **RUN_KW)
 
-    def scenario(name: str, result: RunResult, fault_ns: Optional[int]) -> CrashScenario:
+    def scenario(
+        name: str, result: RunResult, fault_ns: Optional[int],
+        interval_ns: Optional[int] = None,
+    ) -> CrashScenario:
         failures = result.failures
         rec = failures.nodes.get(victim) if failures is not None else None
         detection = None
         if rec is not None and fault_ns is not None:
             detection = rec.detected_ns - fault_ns
+        proto = result.stats.protocol
         return CrashScenario(
             name=name,
             completed=True,
@@ -561,6 +607,11 @@ def run_fig5_crash(
             lost_pages=failures.lost_pages if failures else 0,
             detection_ns=detection,
             recovery_ns=rec.recovery_ns if rec is not None else None,
+            checkpoint_interval_ns=interval_ns,
+            restored_threads=failures.restored_threads if failures else 0,
+            mean_rollback_ns=failures.mean_rollback_ns if failures else None,
+            checkpoints_taken=proto.checkpoints_taken,
+            checkpoint_bytes=proto.checkpoint_bytes,
         )
 
     scenarios = []
@@ -598,6 +649,25 @@ def run_fig5_crash(
     drained = run(fault_plan=drain_plan, **evac_kw, **reliable)
     scenarios.append(scenario("cooperative drain", drained, crash_at))
 
+    # Checkpoint-interval sweep: same crash, snapshots armed.  Shortest
+    # interval first so its breakdown (the one with the most restores)
+    # feeds the committed per-service table.
+    checkpoint_breakdown = ""
+    for frac in sorted(checkpoint_fracs):
+        interval = max(1, int(frac * clean.virtual_ns))
+        ckpt = run(
+            fault_plan=plan, checkpoint_interval_ns=interval,
+            **evac_kw, **reliable,
+        )
+        scenarios.append(
+            scenario(
+                f"crash + checkpoint ({frac:g}x)", ckpt, crash_at,
+                interval_ns=interval,
+            )
+        )
+        if not checkpoint_breakdown:
+            checkpoint_breakdown = render_service_breakdown(ckpt.stats)
+
     return Fig5CrashResult(
         scenarios=scenarios,
         evacuated_breakdown=render_service_breakdown(evacuated.stats),
@@ -610,7 +680,9 @@ def run_fig5_crash(
             timeout_ns=timeout_ns, retries=retries,
             backoff_base_ns=backoff_base_ns, backoff_jitter_ns=backoff_jitter_ns,
             crash_frac=crash_frac, seed=seed, victim=victim,
+            checkpoint_fracs=tuple(sorted(checkpoint_fracs)),
         ),
+        checkpoint_breakdown=checkpoint_breakdown,
     )
 
 

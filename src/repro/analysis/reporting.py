@@ -57,9 +57,10 @@ def render_service_breakdown(stats) -> str:
     The reliability columns (retransmits / recoveries / mean recovery
     latency, fed by the RPC retransmit layer) appear only when some service
     actually retried — zero-loss tables keep rendering byte-identically.
-    The failure-domain columns (threads evacuated / lost, directory pages
-    re-homed / written off) follow the same rule: they appear only when a
-    node actually crashed or drained mid-run.  So do the coherence-protocol
+    The failure-domain columns (threads evacuated / restored from
+    checkpoint / lost, directory pages re-homed / written off) follow the
+    same rule: they appear only when a node actually crashed or drained
+    mid-run.  So do the coherence-protocol
     columns (Exclusive grants, silent E→M upgrades, home migrations,
     adaptive reclassifications): they only render under a non-MSI
     ``coherence_protocol``, keeping every default table byte-identical.
@@ -69,7 +70,8 @@ def render_service_breakdown(stats) -> str:
     )
     reliable = any(s.retransmits or s.recoveries for s in services)
     failure = any(
-        s.evacuations or s.lost_threads or s.rehomed_pages or s.lost_pages
+        s.evacuations or s.restores or s.lost_threads or s.rehomed_pages
+        or s.lost_pages
         for s in services
     )
     coherent = any(
@@ -81,7 +83,10 @@ def render_service_breakdown(stats) -> str:
     if reliable:
         headers += ["retransmits", "recovered", "mean recovery (us)"]
     if failure:
-        headers += ["evacuated", "lost threads", "rehomed pages", "lost M pages"]
+        headers += [
+            "evacuated", "restored", "lost threads", "rehomed pages",
+            "lost M pages",
+        ]
     if coherent:
         headers += ["E grants", "silent E->M", "migrations", "reclass"]
     rows = []
@@ -91,7 +96,10 @@ def render_service_breakdown(stats) -> str:
             mean = s.recovery_wait_ns / s.recoveries / 1e3 if s.recoveries else 0.0
             row += [s.retransmits, s.recoveries, mean]
         if failure:
-            row += [s.evacuations, s.lost_threads, s.rehomed_pages, s.lost_pages]
+            row += [
+                s.evacuations, s.restores, s.lost_threads, s.rehomed_pages,
+                s.lost_pages,
+            ]
         if coherent:
             row += [
                 s.exclusive_grants, s.silent_upgrades, s.home_migrations,
@@ -107,7 +115,7 @@ def render_service_breakdown(stats) -> str:
                     sub += ["", "", ""]
                 if failure:
                     # Failure accounting is per service, not per shard.
-                    sub += ["", "", "", ""]
+                    sub += ["", "", "", "", ""]
                 if coherent:
                     # Protocol telemetry is per service, not per shard.
                     sub += ["", "", "", ""]

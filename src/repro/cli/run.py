@@ -54,6 +54,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="consecutive missed timeout windows before a peer is "
                         "marked down (default 5; must exceed the suspect "
                         "threshold)")
+    p.add_argument("--rpc-timeout-ns", type=int, default=None, metavar="NS",
+                   help="arm the RPC retransmit layer with this per-call "
+                        "timeout (default: off)")
+    p.add_argument("--evacuation", action="store_true",
+                   help="arm the failure domain: crashes evacuate/restore "
+                        "threads instead of aborting the run (requires "
+                        "--rpc-timeout-ns)")
+    p.add_argument("--checkpoint-interval-ns", type=int, default=None,
+                   metavar="NS",
+                   help="snapshot each running thread's context every NS of "
+                        "virtual time for crash restore (requires "
+                        "--evacuation; default: off)")
+    p.add_argument("--checkpoint-target", choices=("master", "peer"),
+                   default="master",
+                   help="where register snapshots live: the master (default) "
+                        "or a ring-buddy peer (Modified pages always flush "
+                        "home)")
+    p.add_argument("--rebalance-threshold-ns", type=int, default=None,
+                   metavar="NS",
+                   help="queue-wait threshold beyond which a node sheds its "
+                        "hottest thread to an underloaded peer (requires "
+                        "--evacuation; default: off)")
     p.add_argument("--superblock-threshold", type=int, default=0, metavar="N",
                    help="promote a block into a trace superblock after N "
                         "executions (default 0: disabled)")
@@ -118,6 +140,11 @@ def main(argv: list[str] | None = None) -> int:
         master_shards=args.master_shards,
         health_suspect_after=args.health_suspect_after,
         health_down_after=args.health_down_after,
+        rpc_timeout_ns=args.rpc_timeout_ns,
+        evacuation_enabled=args.evacuation,
+        checkpoint_interval_ns=args.checkpoint_interval_ns,
+        checkpoint_target=args.checkpoint_target,
+        rebalance_threshold_ns=args.rebalance_threshold_ns,
         pure_qemu=args.qemu,
         max_concurrent_jobs=args.max_concurrent_jobs,
         admission_queue_depth=args.admission_queue_depth,

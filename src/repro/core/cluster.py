@@ -160,6 +160,10 @@ class _Fleet:
             # identical.
             for node in self.nodes.values():
                 node.endpoint.rpc.enable_reply_cache()
+        # Topology handout: peer-mode checkpoint buddies are computed from
+        # the node-id ring (pure arithmetic, no wire traffic).
+        for node in self.nodes.values():
+            node.peer_ids = list(self.node_ids)
         #: Tenant-keyed read-only views over each job's directory shards.
         self.directories = TenantDirectoryView()
         #: Jobs currently running (admitted, not yet settled).

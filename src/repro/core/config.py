@@ -165,6 +165,28 @@ class DQEMUConfig:
     # thread/page accounting).  Requires rpc_timeout_ns — crashes are
     # detected by timeout expiry.
     evacuation_enabled: bool = False
+    # Checkpoint/restore (docs/PROTOCOL.md "Checkpoint/restore"): every
+    # checkpoint_interval_ns of virtual time each slave snapshots a running
+    # thread's register context at a quantum boundary — together with a
+    # write-back of the tenant's Modified pages, so the snapshot is a
+    # consistent cut under every coherence protocol — and ships it to the
+    # master (checkpoint_target="master") or to a buddy peer with the page
+    # flush still going home ("peer").  On a crash, threads with a live
+    # checkpoint are rolled back and re-placed instead of reaped.  None (the
+    # default) sends nothing: wire traffic and every committed table stay
+    # bit-identical.  Requires evacuation_enabled (restore rides the failure
+    # domain's recovery path).
+    checkpoint_interval_ns: Optional[int] = None
+    checkpoint_target: str = "master"  # "master" | "peer"
+    # Master-side cost of landing one checkpoint frame (store the context,
+    # before per-page install work under the shard locks).
+    checkpoint_service_ns: int = 4_000
+    # Drain-driven load rebalancing: when a thread's single-stint queue wait
+    # on a slave crosses this threshold, the node cooperatively evacuates its
+    # hottest runnable thread to an underloaded node via the EvacuateThread
+    # path (reason="rebalance").  None disables.  Requires evacuation_enabled
+    # (the master-side evacuation handler is the failure domain's).
+    rebalance_threshold_ns: Optional[int] = None
 
     # -- multi-tenant job admission (docs/PROTOCOL.md "Multi-tenant jobs") ----
     # Jobs submitted beyond max_concurrent_jobs wait in the admission queue;
@@ -242,6 +264,27 @@ class DQEMUConfig:
             raise ConfigError(
                 "evacuation_enabled needs rpc_timeout_ns: node failures are "
                 "detected by timeout expiry"
+            )
+        if self.checkpoint_interval_ns is not None and self.checkpoint_interval_ns <= 0:
+            raise ConfigError("checkpoint_interval_ns must be positive (or None)")
+        if self.checkpoint_target not in ("master", "peer"):
+            raise ConfigError(
+                f"unknown checkpoint target {self.checkpoint_target!r} "
+                "(choose master or peer)"
+            )
+        if self.checkpoint_service_ns < 0:
+            raise ConfigError("checkpoint_service_ns must be >= 0")
+        if self.checkpoint_interval_ns is not None and not self.evacuation_enabled:
+            raise ConfigError(
+                "checkpoint_interval_ns needs evacuation_enabled: restore "
+                "rides the failure domain's recovery path"
+            )
+        if self.rebalance_threshold_ns is not None and self.rebalance_threshold_ns <= 0:
+            raise ConfigError("rebalance_threshold_ns must be positive (or None)")
+        if self.rebalance_threshold_ns is not None and not self.evacuation_enabled:
+            raise ConfigError(
+                "rebalance_threshold_ns needs evacuation_enabled: rebalancing "
+                "reuses the failure domain's evacuation handler"
             )
         for nid, cores in (self.node_cores or {}).items():
             if cores < 1:
@@ -336,6 +379,7 @@ class DQEMUConfig:
             migration_penalty_ns=max(1, int(self.migration_penalty_ns / k)),
             slave_coherence_service_ns=max(1, int(self.slave_coherence_service_ns / k)),
             syscall_service_ns=max(1, int(self.syscall_service_ns / k)),
+            checkpoint_service_ns=max(1, int(self.checkpoint_service_ns / k)),
             forwarding_push_ns=max(1, int(self.forwarding_push_ns / k)),
             split_service_ns=max(1, int(self.split_service_ns / k)),
             merge_service_ns=max(1, int(self.merge_service_ns / k)),

@@ -21,7 +21,10 @@ class GuestThreadState(enum.Enum):
 class GuestThread:
     """A guest thread as a DQEMU node sees it: vCPU context + accounting."""
 
-    __slots__ = ("cpu", "stats", "state", "enqueued_at", "blocked_at", "tenant")
+    __slots__ = (
+        "cpu", "stats", "state", "enqueued_at", "blocked_at", "tenant",
+        "last_checkpoint_ns", "evac_requested",
+    )
 
     def __init__(self, cpu: CPUState, stats: ThreadStats, tenant: int = 0):
         self.cpu = cpu
@@ -30,6 +33,14 @@ class GuestThread:
         self.enqueued_at: int = 0
         self.blocked_at: Optional[int] = None
         self.tenant = tenant
+        #: Virtual time of the last checkpoint shipped for this thread
+        #: (set to arrival time on spawn, so the first snapshot waits a
+        #: full checkpoint_interval_ns).
+        self.last_checkpoint_ns: int = 0
+        #: Set by the load rebalancer: evacuate this thread at its next
+        #: dequeue instead of running it (docs/PROTOCOL.md
+        #: "Checkpoint/restore", rebalancing).
+        self.evac_requested: bool = False
 
     @property
     def tid(self) -> int:

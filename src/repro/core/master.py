@@ -39,6 +39,7 @@ from repro.core.config import DQEMUConfig
 from repro.core.node import NodeRuntime
 from repro.core.scheduler import ThreadPlacer
 from repro.core.services.base import Dispatcher
+from repro.core.services.checkpoint import CheckpointService
 from repro.core.services.coherence import CoherenceService, CoherentGuestMemory
 from repro.core.services.coordinator import CrossShardCoordinator
 from repro.core.services.failure import FailureDomainService
@@ -180,7 +181,18 @@ class MasterRuntime:
 
         # The failure domain exists only when armed: registering it eagerly
         # would add a zero "failure" row to every committed breakdown table.
+        # Same rule for the checkpoint service (checkpoint_interval_ns set
+        # implies evacuation_enabled, so failure_view is always there too).
         self.failure_domain: Optional[FailureDomainService] = None
+        self.checkpoint_service: Optional[CheckpointService] = None
+        if failure_view is not None and config.checkpoint_interval_ns is not None:
+            self.checkpoint_service = CheckpointService(
+                sim, config, self.endpoint, self.trace, run_stats,
+                failure_view, self.node_ids, node.node_id,
+            )
+            self.checkpoint_service.bind(
+                [shard.coherence for shard in self.shards]
+            )
         if failure_view is not None:
             self.failure_domain = FailureDomainService(
                 sim, config, self.endpoint, self.trace, run_stats,
@@ -190,6 +202,7 @@ class MasterRuntime:
             self.failure_domain.bind(
                 [shard.coherence for shard in self.shards],
                 self.syscalls.executor, self.futexes,
+                checkpoints=self.checkpoint_service,
             )
 
         shard0 = self.shards[0]
@@ -197,6 +210,8 @@ class MasterRuntime:
             shard0.dispatcher.register(service)
         if self.failure_domain is not None:
             shard0.dispatcher.register(self.failure_domain)
+        if self.checkpoint_service is not None:
+            shard0.dispatcher.register(self.checkpoint_service)
 
         # Single-shard aliases (debugging, tests, unsharded call sites).
         self.coherence = shard0.coherence

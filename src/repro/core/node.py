@@ -36,6 +36,7 @@ from repro.core.gthread import GuestThread, GuestThreadState
 from repro.core.llsc import LLSCTable
 from repro.core.services.base import Dispatcher, attribute_timeouts
 from repro.core.services.nodeside import (
+    NodeCheckpointService,
     NodeCoherenceService,
     NodeControlService,
     NodeSplitTableService,
@@ -55,10 +56,13 @@ from repro.mem.splitmap import SplitMap
 from repro.net.endpoint import Endpoint
 from repro.net.fabric import Fabric
 from repro.net.messages import (
+    Checkpoint,
+    CheckpointFlush,
     DrainComplete,
     EvacuateThread,
     MergeRequest,
     PageRequest,
+    PeerCheckpoint,
     SyscallRequest,
 )
 from repro.core.scheduler import FairRunQueue
@@ -104,7 +108,7 @@ class NodeTenant:
         "tenant", "run_stats", "pagestore", "splitmap", "llsc", "memory",
         "engine", "threads", "inflight", "push_gates", "finished",
         "page_retry_stats", "merge_retry_stats", "syscall_retry_stats",
-        "evac_retry_stats",
+        "evac_retry_stats", "ckpt_retry_stats",
     )
 
     def __init__(self, node: "NodeRuntime", tenant: int, run_stats: RunStats):
@@ -119,6 +123,10 @@ class NodeTenant:
             NodeControlService.name,
         ):
             run_stats.service(name)
+        if config.checkpoint_interval_ns is not None:
+            # Mirrors the conditional dispatcher registration: the row
+            # exists exactly when the service does.
+            run_stats.service(NodeCheckpointService.name)
         if node.rpc_retry is not None:
             self.page_retry_stats = run_stats.service(NodeCoherenceService.name)
             self.merge_retry_stats = run_stats.service(NodeSplitTableService.name)
@@ -129,6 +137,10 @@ class NodeTenant:
             self.merge_retry_stats = None
             self.syscall_retry_stats = None
             self.evac_retry_stats = None
+        if node.rpc_retry is not None and config.checkpoint_interval_ns is not None:
+            self.ckpt_retry_stats = run_stats.service(NodeCheckpointService.name)
+        else:
+            self.ckpt_retry_stats = None
         self.pagestore = PageStore()
         self.splitmap = SplitMap()
         self.llsc = LLSCTable()
@@ -197,6 +209,15 @@ class NodeRuntime:
             NodeControlService(self),
         ):
             self.dispatcher.register(service)
+        #: Buddy-held register snapshots (peer-mode checkpointing):
+        #: (source node, tenant, tid) -> (taken_ns, context).
+        self.peer_checkpoints: dict[tuple[int, int, int], tuple] = {}
+        if config.checkpoint_interval_ns is not None:
+            # Must register before the router captures the command-kind set
+            # below, or peer_checkpoint/fetch_checkpoints frames would route
+            # to a master manager.  Conditional so default runs create no
+            # "node.checkpoint" stats row and stay bit-identical.
+            self.dispatcher.register(NodeCheckpointService(self))
         command_kinds = self.dispatcher.kinds
         nshards = config.master_shards
         self.endpoint.set_router(
@@ -225,6 +246,13 @@ class NodeRuntime:
         self.draining = False
         self._evacuating = 0  # evacuation RPCs still in flight
         self._drain_sent = False
+        #: Cluster node ids (set by the fleet once the topology exists);
+        #: checkpoint buddies are computed from it.  A bare node only knows
+        #: itself — peer-mode checkpoints then fall back to the master.
+        self.peer_ids: list[int] = [node_id]
+        #: Virtual time of the last rebalance this node triggered
+        #: (cooldown: at most one per rebalance_threshold_ns window).
+        self._last_rebalance_ns = 0
         #: Set for the pure-QEMU baseline: syscalls short-circuit locally.
         self.local_kernel: Optional["LocalKernel"] = None
 
@@ -318,6 +346,7 @@ class NodeRuntime:
         if ts.quanta == 0:  # fresh thread (not a live migration)
             ts.created_ns = self.sim.now
         th = GuestThread(cpu, ts, tenant)
+        th.last_checkpoint_ns = self.sim.now  # first snapshot waits a full interval
         bundle.threads[cpu.tid] = th
         self.trace.emit("thread", self.node_id, "start", tid=cpu.tid)
         self._requeue(th)
@@ -332,6 +361,13 @@ class NodeRuntime:
             # handed back to the master instead of queued locally.
             self._evacuate(th)
             return
+        if self._checkpoint_due(th):
+            # Every requeue is a consistent capture point: the fault or
+            # syscall that stopped the thread has fully resolved, so the
+            # context sits at an instruction boundary with no pending
+            # kernel interaction to replay (docs/PROTOCOL.md
+            # "Checkpoint/restore").
+            self._take_checkpoint(th, self.tenants[th.tenant])
         th.state = GuestThreadState.READY
         th.enqueued_at = self.sim.now
         self.runqueue.put(th)
@@ -349,32 +385,35 @@ class NodeRuntime:
 
     # -- drain evacuation (docs/PROTOCOL.md "Failure domains") -----------------
 
-    def _evacuate(self, th: GuestThread) -> None:
+    def _evacuate(self, th: GuestThread, reason: str = "drain") -> None:
         """Hand a thread back to the master for re-placement elsewhere.
 
         Locally this looks exactly like a live migration away (same
         bookkeeping as the ``reply.migrated`` branch of the syscall
         handler); the context travels in an ``EvacuateThread`` request and
         the master's failure-domain service re-spawns it on a usable node.
+        ``reason`` distinguishes a drain (the node is emptying itself) from
+        a load rebalance (the node is shedding its hottest thread).
         """
         cpu = th.cpu
         bundle = self.tenants[th.tenant]
         th.state = GuestThreadState.EXITED
         cpu.halted = True
         bundle.threads.pop(cpu.tid, None)
-        self.trace.emit("thread", self.node_id, "evacuating", tid=cpu.tid)
+        self.trace.emit("thread", self.node_id, f"evacuating ({reason})", tid=cpu.tid)
         self._evacuating += 1
         self.sim.spawn(
-            self._guarded(self._evacuate_rpc(cpu, bundle)),
+            self._guarded(self._evacuate_rpc(cpu, bundle, reason)),
             name=f"evac@{self.node_id}",
         )
 
-    def _evacuate_rpc(self, cpu: CPUState, bundle: NodeTenant):
+    def _evacuate_rpc(self, cpu: CPUState, bundle: NodeTenant, reason: str):
         with attribute_timeouts(NodeControlService.name):
             yield self.endpoint.request(
                 self.master_id,
                 EvacuateThread(
-                    tid=cpu.tid, context=cpu.snapshot(), tenant=bundle.tenant
+                    tid=cpu.tid, context=cpu.snapshot(), tenant=bundle.tenant,
+                    reason=reason,
                 ),
                 timeout_ns=self.config.rpc_timeout_ns,
                 retry=self.rpc_retry, stats=bundle.evac_retry_stats,
@@ -416,6 +455,110 @@ class NodeRuntime:
         else:  # pragma: no cover - drains require armed timeouts in practice
             self.endpoint.send(self.master_id, done)
 
+    # -- checkpointing (docs/PROTOCOL.md "Checkpoint/restore") ------------------
+
+    def _checkpoint_due(self, th: GuestThread) -> bool:
+        interval = self.config.checkpoint_interval_ns
+        return (
+            interval is not None
+            and self.node_id != self.master_id  # the master cannot crash
+            and not self.draining  # a draining node evacuates live contexts
+            and not self.tenants[th.tenant].finished
+            and self.sim.now - th.last_checkpoint_ns >= interval
+        )
+
+    def _take_checkpoint(self, th: GuestThread, bundle: NodeTenant) -> None:
+        """Snapshot ``th`` at this scheduling boundary and ship it async.
+
+        The capture itself is synchronous — the register context plus
+        byte-copies of every page the tenant holds Modified on this node,
+        taken before the thread runs another instruction.  That page set is
+        a conservative superset of the thread's own dirty pages (no
+        per-thread dirty tracking), and copying it here is what makes the
+        snapshot a consistent cut: restoring (context, flushed pages)
+        reproduces exactly the memory this thread could have observed at
+        ``taken_ns``, under any coherence protocol.  Shipping happens in a
+        spawned process so the core keeps executing.
+        """
+        taken_ns = self.sim.now
+        th.last_checkpoint_ns = taken_ns
+        context = th.cpu.snapshot()
+        store = bundle.pagestore
+        pages = tuple(
+            (page, store.snapshot(page))
+            for page in sorted(store.pages())
+            if store.state(page) is MSIState.MODIFIED
+        )
+        bundle.run_stats.protocol.checkpoints_taken += 1
+        self.trace.emit(
+            "thread", self.node_id,
+            f"checkpoint ({len(pages)} M pages)", tid=th.tid,
+        )
+        self.sim.spawn(
+            self._guarded(self._checkpoint_rpc(th.tid, taken_ns, context,
+                                               pages, bundle)),
+            name=f"ckpt@{self.node_id}",
+        )
+
+    def _checkpoint_rpc(self, tid: int, taken_ns: int, context, pages,
+                        bundle: NodeTenant):
+        from repro.core.services.checkpoint import checkpoint_buddy
+
+        from repro.net.rpc import RpcTimeout
+
+        proto = bundle.run_stats.protocol
+        buddy = self.master_id
+        if self.config.checkpoint_target == "peer":
+            buddy = checkpoint_buddy(self.node_id, self.peer_ids, self.master_id)
+        try:
+            with attribute_timeouts(NodeCheckpointService.name):
+                if buddy != self.master_id:
+                    # Peer mode: register context to the ring buddy, Modified
+                    # pages still flush home — the master stays page
+                    # authority.
+                    ctx_msg = PeerCheckpoint(
+                        tid=tid, taken_ns=taken_ns, context=context,
+                        tenant=bundle.tenant,
+                    )
+                    flush = CheckpointFlush(
+                        taken_ns=taken_ns, pages=pages, tenant=bundle.tenant,
+                    )
+                    proto.checkpoint_bytes += (
+                        ctx_msg.size_bytes() + flush.size_bytes()
+                    )
+                    yield self.endpoint.request(
+                        buddy, ctx_msg,
+                        timeout_ns=self.config.rpc_timeout_ns,
+                        retry=self.rpc_retry, stats=bundle.ckpt_retry_stats,
+                    )
+                    yield self.endpoint.request(
+                        self.master_id, flush,
+                        timeout_ns=self.config.rpc_timeout_ns,
+                        retry=self.rpc_retry, stats=bundle.ckpt_retry_stats,
+                    )
+                else:
+                    # Master mode (or a degenerate single-slave peer ring):
+                    # context and pages travel in one frame.
+                    msg = Checkpoint(
+                        tid=tid, taken_ns=taken_ns, context=context,
+                        pages=pages, tenant=bundle.tenant,
+                    )
+                    proto.checkpoint_bytes += msg.size_bytes()
+                    yield self.endpoint.request(
+                        self.master_id, msg,
+                        timeout_ns=self.config.rpc_timeout_ns,
+                        retry=self.rpc_retry, stats=bundle.ckpt_retry_stats,
+                    )
+        except RpcTimeout:
+            # The holder stopped answering (a dead buddy, or the master is
+            # drowning) — a checkpoint is best-effort by design: drop this
+            # snapshot and carry on; the next interval tries again.
+            proto.checkpoints_discarded += 1
+            self.trace.emit(
+                "thread", self.node_id, "checkpoint lost (holder timeout)",
+                tid=tid,
+            )
+
     # -- core scheduling ------------------------------------------------------
 
     def _core(self, core_id: int):
@@ -430,9 +573,48 @@ class NodeRuntime:
                 # running another quantum here.
                 self._evacuate(th)
                 continue
-            th.stats.runnable_wait_ns += self.sim.now - th.enqueued_at
+            if th.evac_requested:
+                # The rebalancer picked this thread while it sat queued:
+                # ship it to an underloaded node instead of running it.
+                th.evac_requested = False
+                self._evacuate(th, reason="rebalance")
+                continue
+            waited = self.sim.now - th.enqueued_at
+            th.stats.runnable_wait_ns += waited
+            if self._should_rebalance(waited):
+                victim = self._rebalance_victim(th)
+                self._last_rebalance_ns = self.sim.now
+                self.tenants[victim.tenant].run_stats.protocol \
+                    .rebalance_evacuations += 1
+                if victim is th:
+                    self._evacuate(th, reason="rebalance")
+                    continue
+                victim.evac_requested = True
             th.state = GuestThreadState.RUNNING
             yield from self._run_turn(th)
+
+    def _should_rebalance(self, waited_ns: int) -> bool:
+        """A queue-wait stint crossed the threshold on a healthy slave, and
+        the per-node cooldown (one shed per threshold window) has passed."""
+        threshold = self.config.rebalance_threshold_ns
+        return (
+            threshold is not None
+            and self.node_id != self.master_id
+            and not self.draining
+            and not self.shutdown
+            and waited_ns >= threshold
+            and self.sim.now - self._last_rebalance_ns >= threshold
+        )
+
+    def _rebalance_victim(self, current: GuestThread) -> GuestThread:
+        """The hottest runnable thread on this node: shedding the biggest
+        compute consumer moves the most queue pressure per evacuation."""
+        candidates = [current] + [
+            t for t in self.runqueue.peek_all()
+            if t is not None and t.state is GuestThreadState.READY
+            and not t.evac_requested
+        ]
+        return max(candidates, key=lambda t: (t.stats.execute_ns, -t.tid))
 
     def _run_turn(self, th: GuestThread):
         cfg = self.config
@@ -454,6 +636,11 @@ class NodeRuntime:
                 if self.draining or len(self.runqueue):
                     self._requeue(th)  # other threads are waiting: yield the core
                     return
+                if self._checkpoint_due(th):
+                    # A solo thread keeps the core without requeueing, so
+                    # its quantum boundary is the capture point (the requeue
+                    # path handles every other scheduling boundary).
+                    self._take_checkpoint(th, bundle)
                 continue
             if kind is StopKind.PAGE_STALL:
                 self.sim.spawn(

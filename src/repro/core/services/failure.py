@@ -38,6 +38,7 @@ from repro.net.messages import Ack, SpawnThread, StartDrain
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.services.checkpoint import CheckpointService
     from repro.core.services.coherence import CoherenceService
     from repro.core.services.futexes import FutexService
     from repro.kernel.syscalls import SyscallExecutor
@@ -85,16 +86,22 @@ class FailureDomainService:
         self.coherences: List["CoherenceService"] = []
         self.executor: Optional["SyscallExecutor"] = None
         self.futex_service: Optional["FutexService"] = None
+        # Checkpoint store (docs/PROTOCOL.md "Checkpoint/restore"); None
+        # unless checkpoint_interval_ns is armed — recovery then reaps
+        # running threads exactly as before.
+        self.checkpoints: Optional["CheckpointService"] = None
 
     def bind(
         self,
         coherences: List["CoherenceService"],
         executor: "SyscallExecutor",
         futexes: "FutexService",
+        checkpoints: Optional["CheckpointService"] = None,
     ) -> None:
         self.coherences = list(coherences)
         self.executor = executor
         self.futex_service = futexes
+        self.checkpoints = checkpoints
 
     # -- crash recovery ---------------------------------------------------------
 
@@ -135,6 +142,11 @@ class FailureDomainService:
         """Re-home every thread the dead node was running or parking."""
         t0 = self.sim.now
         stats = self.run_stats.service(self.name)
+        if self.checkpoints is not None:
+            # Peer mode parks register snapshots on a buddy node; pull the
+            # dead node's before deciding any thread's fate (a dead buddy
+            # means those snapshots are gone and the threads stay lost).
+            yield from self.checkpoints.collect_for(node)
         for trec in list(self.state.threads.on_node(node)):
             tid = trec.tid
             waiter = self.state.futexes.find(tid)
@@ -161,6 +173,35 @@ class FailureDomainService:
                     )
                 rec.evacuated.append((tid, target))
                 stats.evacuations += 1
+                continue
+            snap = (
+                self.checkpoints.take(tid)
+                if self.checkpoints is not None else None
+            )
+            if snap is not None:
+                # A live checkpoint: roll the thread back to its last
+                # consistent cut and re-place it — the re-executed span
+                # (snapshot to detection) is the rollback distance.
+                taken_ns, context = snap
+                if waiter is not None:
+                    self.state.futexes.remove(tid)
+                target = self._pick_target(exclude=node)
+                self.state.threads.move(tid, target)
+                self.state.threads.set_state(tid, ThreadState.RUNNING)
+                rollback_ns = rec.detected_ns - taken_ns
+                self.trace.emit(
+                    "thread", target,
+                    f"restored from checkpoint (rollback "
+                    f"{rollback_ns / 1000:.1f}us)", tid=tid,
+                )
+                with attribute_timeouts(self.name):
+                    yield self.endpoint.request(
+                        target, SpawnThread(tid=tid, context=context),
+                        timeout_ns=self.config.rpc_timeout_ns,
+                        retry=self.retry, stats=self.retry_stats,
+                    )
+                rec.restored.append((tid, target, rollback_ns))
+                stats.restores += 1
             else:
                 # Context died with the node.  Run the kernel exit path
                 # (zero clear_child_tid, wake joiners) so threads joining on
@@ -177,16 +218,39 @@ class FailureDomainService:
         rec.recovered_ns = self.sim.now
         stats.busy_ns += self.sim.now - t0
 
+    def _usable_pool(self, exclude: int = -1) -> list[int]:
+        """Candidates a thread may land on, healthy before suspect.
+
+        ``view.usable`` already rules out failed/draining/down nodes, but a
+        *suspect* node (missed timeout windows, not yet confirmed dead) is
+        a bad bet for a thread we are trying to save: placing there risks a
+        second evacuation moments later.  Mirror the ThreadPlacer's policy
+        — suspect nodes are pressed into service only when no healthy
+        candidate is left.
+        """
+        healthy: list[int] = []
+        suspect: list[int] = []
+        for n in self.candidates:
+            if n == exclude or not self.view.usable(n):
+                continue
+            (suspect if self.view.is_suspect(n) else healthy).append(n)
+        return healthy or suspect
+
     def _pick_target(self, exclude: int = -1) -> int:
-        pool = [
-            n for n in self.candidates
-            if n != exclude and self.view.usable(n)
-        ]
+        pool = self._usable_pool(exclude)
         if not pool:
             return self.node_id  # last resort: everything runs on the master
         target = pool[self._evac_rr % len(pool)]
         self._evac_rr += 1
         return target
+
+    def _pick_rebalance_target(self, exclude: int = -1) -> int:
+        """Least-loaded usable node (thread count): a rebalanced thread must
+        land where the queue pressure is lowest, not at a blind cursor."""
+        pool = self._usable_pool(exclude)
+        if not pool:
+            return self.node_id
+        return min(pool, key=lambda n: (len(self.state.threads.on_node(n)), n))
 
     # -- cooperative drain ------------------------------------------------------
 
@@ -215,15 +279,23 @@ class FailureDomainService:
         yield from getattr(self, "_on_" + msg.kind)(msg)
 
     def _on_evacuate_thread(self, msg):
-        target = self._pick_target(exclude=msg.src)
+        if msg.reason == "rebalance":
+            # Load shedding, not a failure: aim at the coldest node and
+            # leave the failure record alone (nothing failed).
+            target = self._pick_rebalance_target(exclude=msg.src)
+            self.trace.emit(
+                "thread", target, f"rebalanced from n{msg.src}", tid=msg.tid
+            )
+        else:
+            target = self._pick_target(exclude=msg.src)
+            rec = self.failures.nodes.get(msg.src)
+            if rec is not None:
+                rec.evacuated.append((msg.tid, target))
+            self.trace.emit(
+                "thread", target, f"evacuated from n{msg.src}", tid=msg.tid
+            )
         self.state.threads.move(msg.tid, target)
-        rec = self.failures.nodes.get(msg.src)
-        if rec is not None:
-            rec.evacuated.append((msg.tid, target))
         self.run_stats.service(self.name).evacuations += 1
-        self.trace.emit(
-            "thread", target, f"evacuated from n{msg.src}", tid=msg.tid
-        )
         with attribute_timeouts(self.name):
             yield self.endpoint.request(
                 target, SpawnThread(tid=msg.tid, context=msg.context),

@@ -34,6 +34,11 @@ __all__ = [
     "StartDrain",
     "EvacuateThread",
     "DrainComplete",
+    "Checkpoint",
+    "CheckpointFlush",
+    "PeerCheckpoint",
+    "FetchCheckpoints",
+    "CheckpointBatch",
     "HEADER_BYTES",
 ]
 
@@ -274,6 +279,10 @@ class EvacuateThread(Message):
     kind: ClassVar[str] = "evacuate_thread"
     tid: int = 0
     context: Any = None  # CPUState snapshot, same blob as SpawnThread
+    #: Why the thread is being shipped back: "drain" (the node is emptying
+    #: itself, PR 5's cooperative path) or "rebalance" (the node's queue wait
+    #: crossed rebalance_threshold_ns and it is shedding its hottest thread).
+    reason: str = "drain"
 
     def payload_bytes(self) -> int:
         return 1024  # registers + thread metadata
@@ -284,3 +293,78 @@ class DrainComplete(Message):
     """Slave → master: the drained node's last guest thread is gone."""
 
     kind: ClassVar[str] = "drain_complete"
+
+
+@dataclass(kw_only=True)
+class Checkpoint(Message):
+    """Slave → master: periodic snapshot of one running thread.
+
+    Carries the register context plus byte-copies of every page the tenant
+    holds Modified on the sending node, taken synchronously at a quantum
+    boundary — the write-back barrier that makes the snapshot a consistent
+    cut (docs/PROTOCOL.md "Checkpoint/restore").  ``taken_ns`` orders
+    checkpoints for the same tid; the master keeps only the newest.
+    """
+
+    kind: ClassVar[str] = "checkpoint"
+    tid: int = 0
+    taken_ns: int = 0
+    context: Any = None  # CPUState snapshot, same blob as SpawnThread
+    pages: tuple = ()  # tuple of (page_no, bytes)
+
+    def payload_bytes(self) -> int:
+        return 1024 + sum(16 + len(data) for _, data in self.pages)
+
+
+@dataclass(kw_only=True)
+class CheckpointFlush(Message):
+    """Slave → master: the page half of a peer-mode checkpoint.
+
+    With ``checkpoint_target="peer"`` the register context goes to the buddy
+    node (:class:`PeerCheckpoint`) but the Modified-page write-back still
+    goes home — the master's store is the page authority under every
+    coherence protocol.
+    """
+
+    kind: ClassVar[str] = "checkpoint_flush"
+    taken_ns: int = 0
+    pages: tuple = ()  # tuple of (page_no, bytes)
+
+    def payload_bytes(self) -> int:
+        return sum(16 + len(data) for _, data in self.pages)
+
+
+@dataclass(kw_only=True)
+class PeerCheckpoint(Message):
+    """Slave → buddy slave: hold this thread's register snapshot for me."""
+
+    kind: ClassVar[str] = "peer_checkpoint"
+    tid: int = 0
+    taken_ns: int = 0
+    context: Any = None  # CPUState snapshot, same blob as SpawnThread
+
+    def payload_bytes(self) -> int:
+        return 1024  # registers + thread metadata
+
+
+@dataclass(kw_only=True)
+class FetchCheckpoints(Message):
+    """Master → buddy slave: surrender the snapshots you hold for ``node``
+    (which just died); reply is a :class:`CheckpointBatch`."""
+
+    kind: ClassVar[str] = "fetch_checkpoints"
+    node: int = -1
+
+    def payload_bytes(self) -> int:
+        return 8
+
+
+@dataclass(kw_only=True)
+class CheckpointBatch(Message):
+    """Buddy slave → master: every snapshot held for the dead node."""
+
+    kind: ClassVar[str] = "checkpoint_batch"
+    entries: tuple = ()  # tuple of (tid, taken_ns, context)
+
+    def payload_bytes(self) -> int:
+        return sum(16 + 1024 for _ in self.entries)

@@ -268,6 +268,54 @@ class TestConfigValidation:
         assert args.health_suspect_after == 3
         assert args.health_down_after == 9
 
+    def test_checkpoint_requires_evacuation(self):
+        with pytest.raises(ConfigError):
+            DQEMUConfig(checkpoint_interval_ns=10_000, rpc_timeout_ns=10_000)
+        cfg = DQEMUConfig(
+            checkpoint_interval_ns=10_000, evacuation_enabled=True,
+            rpc_timeout_ns=10_000,
+        )
+        assert cfg.checkpoint_interval_ns == 10_000
+
+    def test_checkpoint_interval_and_target_validated(self):
+        with pytest.raises(ConfigError):
+            DQEMUConfig(
+                checkpoint_interval_ns=0, evacuation_enabled=True,
+                rpc_timeout_ns=10_000,
+            )
+        with pytest.raises(ConfigError):
+            DQEMUConfig(checkpoint_target="nowhere")
+        with pytest.raises(ConfigError):
+            DQEMUConfig(checkpoint_service_ns=-1)
+
+    def test_rebalance_requires_evacuation(self):
+        with pytest.raises(ConfigError):
+            DQEMUConfig(rebalance_threshold_ns=5_000, rpc_timeout_ns=10_000)
+        with pytest.raises(ConfigError):
+            DQEMUConfig(
+                rebalance_threshold_ns=0, evacuation_enabled=True,
+                rpc_timeout_ns=10_000,
+            )
+        DQEMUConfig(
+            rebalance_threshold_ns=5_000, evacuation_enabled=True,
+            rpc_timeout_ns=10_000,
+        )
+
+    def test_checkpoint_cli_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "prog.s", "--rpc-timeout-ns", "20000", "--evacuation",
+                "--checkpoint-interval-ns", "50000",
+                "--checkpoint-target", "peer",
+                "--rebalance-threshold-ns", "8000",
+            ]
+        )
+        assert args.rpc_timeout_ns == 20_000
+        assert args.evacuation
+        assert args.checkpoint_interval_ns == 50_000
+        assert args.checkpoint_target == "peer"
+        assert args.rebalance_threshold_ns == 8_000
+
 
 # -- directory re-homing -------------------------------------------------------
 
@@ -350,10 +398,10 @@ RELIABLE = dict(
 )
 
 
-def _run(n_slaves=3, **cfg_kw):
+def _run(n_slaves=3, trace=False, **cfg_kw):
     prog = blackscholes.build(**PROG_KW)
     cfg = DQEMUConfig(**cfg_kw).time_scaled(100.0)
-    return Cluster(n_slaves, cfg).run(prog, max_virtual_ms=60_000_000)
+    return Cluster(n_slaves, cfg, trace=trace).run(prog, max_virtual_ms=60_000_000)
 
 
 @functools.lru_cache(maxsize=None)
@@ -498,3 +546,232 @@ class TestCoherenceProtocolCrashes:
         )
         assert r.exit_code == 0
         assert r.failures.nodes[1].kind == "crash"
+
+
+# -- evacuation/restore target selection (health-latched) ----------------------
+
+
+class TestEvacuationTargeting:
+    """Regression: the failure domain's round-robin cursor must consult the
+    latched health view — a restored or evacuated thread landing on a
+    suspect or draining node risks a second evacuation moments later."""
+
+    def _svc(self, view, candidates=(1, 2, 3)):
+        from repro.core.services.failure import FailureDomainService
+        from repro.core.stats import RunStats
+
+        return FailureDomainService(
+            Simulator(), DQEMUConfig(), None, None, RunStats(), None,
+            view, list(candidates), 0, None, lambda: False,
+        )
+
+    def test_pick_target_skips_suspect_nodes(self):
+        view, tracker = make_view(suspect_after=1, down_after=5)
+        svc = self._svc(view)
+        tracker.retransmitted(2)
+        assert [svc._pick_target() for _ in range(4)] == [1, 3, 1, 3]
+
+    def test_pick_target_never_lands_on_draining_or_failed(self):
+        view, _ = make_view()
+        svc = self._svc(view)
+        view.mark_failed(1)
+        view.mark_draining(3)
+        assert [svc._pick_target() for _ in range(3)] == [2, 2, 2]
+
+    def test_suspect_pressed_into_service_when_no_healthy_left(self):
+        view, tracker = make_view(suspect_after=1, down_after=5)
+        svc = self._svc(view)
+        view.mark_failed(1)
+        view.mark_failed(3)
+        tracker.retransmitted(2)
+        assert svc._pick_target() == 2
+
+    def test_exhausted_pool_falls_back_to_master(self):
+        view, _ = make_view()
+        svc = self._svc(view, candidates=(1,))
+        assert svc._pick_target(exclude=1) == 0
+
+    def test_rebalance_target_is_least_loaded_usable_node(self):
+        class _Threads:
+            def __init__(self, loads):
+                self.loads = loads
+
+            def on_node(self, n):
+                return [object()] * self.loads.get(n, 0)
+
+        class _State:
+            def __init__(self, loads):
+                self.threads = _Threads(loads)
+
+        view, tracker = make_view(suspect_after=1, down_after=5)
+        svc = self._svc(view)
+        svc.state = _State({1: 3, 2: 1, 3: 2})
+        assert svc._pick_rebalance_target() == 2
+        # Suspicion trumps load: the lightest node, once suspect, loses.
+        tracker.retransmitted(2)
+        assert svc._pick_rebalance_target() == 3
+        # Ties break toward the lowest node id.
+        svc.state = _State({})
+        assert svc._pick_rebalance_target(exclude=1) == 3
+
+
+# -- checkpoint/restore --------------------------------------------------------
+
+
+class TestCheckpointBuddy:
+    def test_ring_and_degenerate_cases(self):
+        from repro.core.services.checkpoint import checkpoint_buddy
+
+        ids = [0, 1, 2, 3]
+        assert checkpoint_buddy(1, ids, 0) == 2
+        assert checkpoint_buddy(2, ids, 0) == 3
+        assert checkpoint_buddy(3, ids, 0) == 1  # ring wraps
+        assert checkpoint_buddy(0, ids, 0) == 0  # the master keeps its own
+        assert checkpoint_buddy(1, [0, 1], 0) == 0  # single slave -> master
+
+
+class TestCheckpointRestore:
+    ARMED = dict(evacuation_enabled=True, health_aware_placement=True)
+
+    def _interval(self, frac=0.05):
+        return max(1, int(_clean().virtual_ns * frac))
+
+    def test_crash_restores_every_thread(self):
+        crash_at = int(_clean().virtual_ns * 0.35)
+        plan = FaultPlan.crash(1, crash_at, seed=1)
+        r = _run(
+            fault_plan=plan, checkpoint_interval_ns=self._interval(),
+            **self.ARMED, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        rec = r.failures.nodes[1]
+        assert rec.restored and not rec.lost and not rec.evacuated
+        # Private worker state: rollback re-executes to the exact answers.
+        assert r.stdout == _clean().stdout
+        svc = r.stats.services["failure"]
+        assert svc.restores == len(rec.restored)
+        for tid, target, rollback_ns in rec.restored:
+            assert target != 1 and rollback_ns > 0
+        assert r.failures.restored_threads == len(rec.restored)
+        assert r.failures.mean_rollback_ns > 0
+        assert "restored" in r.failures.describe()
+        p = r.stats.protocol
+        assert p.checkpoints_taken >= p.checkpoints_stored > 0
+        assert p.checkpoint_bytes > 0
+
+    def test_rollback_shrinks_with_the_interval(self):
+        crash_at = int(_clean().virtual_ns * 0.35)
+        plan = FaultPlan.crash(1, crash_at, seed=1)
+        rollbacks, wire = [], []
+        for frac in (0.02, 0.15):
+            r = _run(
+                fault_plan=plan, checkpoint_interval_ns=self._interval(frac),
+                **self.ARMED, **RELIABLE,
+            )
+            assert r.exit_code == 0
+            rollbacks.append(r.failures.mean_rollback_ns)
+            wire.append(r.stats.protocol.checkpoint_bytes)
+        assert rollbacks[0] is not None and rollbacks[1] is not None
+        assert rollbacks[0] < rollbacks[1]  # tighter interval, shorter redo
+        assert wire[0] > wire[1]  # paid for with checkpoint wire bytes
+
+    def test_crash_mid_snapshot_discards_the_in_flight_frame(self):
+        # Kill the victim the instant it emits a checkpoint: the frame is
+        # still on the wire when the node dies.  The master must either
+        # never see it (dropped by the fault rules) or discard it on
+        # arrival (posthumous frames cannot resurrect state); recovery
+        # restores from the last *stored* snapshot or reaps.
+        crash_at = int(_clean().virtual_ns * 0.35)
+        probe = _run(
+            fault_plan=FaultPlan.crash(1, crash_at, seed=1),
+            checkpoint_interval_ns=self._interval(0.02),
+            trace=True, **self.ARMED, **RELIABLE,
+        )
+        takes = [
+            ev for ev in probe.trace.events
+            if ev.node == 1 and ev.what.startswith("checkpoint (")
+        ]
+        assert takes, "victim never checkpointed before the crash"
+        plan = FaultPlan.crash(1, int(takes[-1].ts_ns) + 1, seed=1)
+        r = _run(
+            fault_plan=plan, checkpoint_interval_ns=self._interval(0.02),
+            **self.ARMED, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        rec = r.failures.nodes[1]
+        # Every thread is accounted for, and any restore used a snapshot
+        # from strictly before the crash (positive rollback).
+        assert len(rec.restored) + len(rec.lost) + len(rec.evacuated) > 0
+        for _tid, _target, rollback_ns in rec.restored:
+            assert rollback_ns > 0
+
+    def test_peer_mode_restores_via_buddy(self):
+        crash_at = int(_clean().virtual_ns * 0.35)
+        plan = FaultPlan.crash(1, crash_at, seed=1)
+        r = _run(
+            fault_plan=plan, checkpoint_interval_ns=self._interval(),
+            checkpoint_target="peer", **self.ARMED, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        rec = r.failures.nodes[1]
+        assert rec.restored and not rec.lost
+        assert r.stdout == _clean().stdout
+        # Contexts came off the ring buddy at recovery time.
+        assert r.stats.services["node.checkpoint"].requests > 0
+
+    def test_peer_holder_crash_loses_only_the_orphaned_snapshots(self):
+        # Kill node 1's buddy (node 2) first, then node 1: node 1's
+        # snapshots died with their holder, so its threads reap as lost;
+        # node 2's own snapshots live on *its* buddy (node 3) and restore.
+        crash_at = int(_clean().virtual_ns * 0.35)
+        p_buddy = FaultPlan.crash(2, crash_at - 10_000, seed=7)
+        p_victim = FaultPlan.crash(1, crash_at, seed=7)
+        plan = FaultPlan(
+            rules=p_buddy.rules + p_victim.rules, seed=7,
+            crashes=p_buddy.crashes + p_victim.crashes,
+        )
+        r = _run(
+            fault_plan=plan, checkpoint_interval_ns=self._interval(),
+            checkpoint_target="peer", **self.ARMED, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        holder = r.failures.nodes[2]
+        orphan = r.failures.nodes[1]
+        assert holder.restored  # fetched from node 3, its ring buddy
+        assert orphan.lost and not orphan.restored
+        # Best-effort shipping: RPCs against the corpses were written off.
+        assert r.stats.protocol.checkpoints_discarded > 0
+
+    @pytest.mark.parametrize("protocol", ["msi", "mesi", "migrate", "adaptive"])
+    def test_restore_under_crash_per_protocol(self, protocol):
+        harness = TestCoherenceProtocolCrashes()
+        clean = harness._rmw_run(protocol)
+        plan = FaultPlan.crash(2, int(clean.virtual_ns * 0.4), seed=3)
+        r = harness._rmw_run(
+            protocol, fault_plan=plan,
+            checkpoint_interval_ns=max(1, int(clean.virtual_ns * 0.05)),
+            **self.ARMED, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        rec = r.failures.nodes[2]
+        assert rec.restored and not rec.lost
+        for _tid, target, rollback_ns in rec.restored:
+            assert target != 2 and rollback_ns > 0
+
+    def test_rebalance_sheds_load_without_failure_records(self):
+        r = _run(
+            cores_per_node=1, rebalance_threshold_ns=2_000,
+            **self.ARMED, **RELIABLE,
+        )
+        assert r.exit_code == 0
+        assert r.stats.protocol.rebalance_evacuations > 0
+        assert r.stdout == _clean().stdout
+        # A rebalance is not a failure: no per-node crash/drain records.
+        assert not r.failures.nodes
+
+    def test_default_run_has_no_checkpoint_rows(self):
+        plain = _clean()
+        assert "checkpoint" not in plain.stats.services
+        assert "node.checkpoint" not in plain.stats.services
+        assert plain.stats.protocol.checkpoints_taken == 0
+        assert plain.stats.protocol.rebalance_evacuations == 0
