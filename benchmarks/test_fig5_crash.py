@@ -13,7 +13,8 @@ checkpoint wire bytes against rollback distance.
 
 ``test_crash_smoke_matrix`` is the seeded crash-matrix smoke run CI
 executes once per slave via the ``DQEMU_SMOKE_CRASH_NODE`` environment
-variable (and once per checkpoint arm via ``DQEMU_SMOKE_CHECKPOINT``).
+variable (and once per checkpoint arm via ``DQEMU_SMOKE_CHECKPOINT``, once
+per heartbeat arm via ``DQEMU_SMOKE_HEARTBEAT``).
 It deliberately does not use the benchmark fixture, so the main benchmarks
 job (``--benchmark-only``) skips it.
 """
@@ -106,6 +107,7 @@ def test_crash_smoke_matrix():
     """Seeded crash smoke run, parameterized by CI's crash-matrix job."""
     victim = int(os.environ.get("DQEMU_SMOKE_CRASH_NODE", "1"))
     checkpointed = os.environ.get("DQEMU_SMOKE_CHECKPOINT", "0") == "1"
+    heartbeats = os.environ.get("DQEMU_SMOKE_HEARTBEAT", "0") == "1"
     n_slaves = 3
     prog = blackscholes.build(n_threads=6, n_options=2040, reps=4)
 
@@ -127,15 +129,19 @@ def test_crash_smoke_matrix():
         dict(checkpoint_interval_ns=max(1, clean.virtual_ns // 10))
         if checkpointed else {}
     )
-    result = Cluster(
-        n_slaves,
-        cfg(
-            fault_plan=plan,
-            evacuation_enabled=True,
-            health_aware_placement=True,
-            **ckpt_kw,
-        ),
-    ).run(prog, max_virtual_ms=60_000_000)
+    config = cfg(
+        fault_plan=plan,
+        evacuation_enabled=True,
+        health_aware_placement=True,
+        **ckpt_kw,
+    )
+    if heartbeats:
+        # Post-scale slack lease: the busy victim's RPC retry budget must
+        # still win the detection race (heartbeats are a backstop here).
+        config = config.with_options(
+            heartbeat_interval_ns=max(1, clean.virtual_ns // 5)
+        )
+    result = Cluster(n_slaves, config).run(prog, max_virtual_ms=60_000_000)
     assert result.exit_code == 0
     assert result.failures is not None
     rec = result.failures.nodes[victim]
@@ -154,3 +160,10 @@ def test_crash_smoke_matrix():
     else:
         assert not rec.restored
         assert result.stats.protocol.checkpoints_taken == 0
+    if heartbeats:
+        # Both detectors were armed; on a chatty victim the passive one
+        # fires first, and the merged health view records that.
+        assert rec.evidence == "rpc-timeout"
+        assert result.stats.protocol.heartbeats_sent > 0
+    else:
+        assert result.stats.protocol.heartbeats_sent == 0

@@ -28,6 +28,7 @@ from repro.baselines.qemu import run_qemu
 from repro.core.cluster import Cluster, RunResult
 from repro.core.config import DQEMUConfig
 from repro.core.services.base import ServiceTimeout
+from repro.errors import SimulationError
 from repro.net.faults import FaultPlan, drop
 from repro.workloads import (
     blackscholes,
@@ -42,6 +43,7 @@ from repro.workloads import (
 __all__ = [
     "Fig5Result",
     "Fig5CrashResult",
+    "Fig5HeartbeatResult",
     "Fig5PartitionResult",
     "Fig5ShardedResult",
     "Fig6Result",
@@ -51,9 +53,11 @@ __all__ = [
     "Fig7Result",
     "Fig8Result",
     "CrashScenario",
+    "HeartbeatScenario",
     "PartitionScenario",
     "run_fig5",
     "run_fig5_crash",
+    "run_fig5_heartbeat",
     "run_fig5_partition",
     "run_fig5_sharded",
     "run_fig6",
@@ -683,6 +687,312 @@ def run_fig5_crash(
             checkpoint_fracs=tuple(sorted(checkpoint_fracs)),
         ),
         checkpoint_breakdown=checkpoint_breakdown,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 (heartbeat) — active liveness: bounded detection vs heartbeat cost
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HeartbeatScenario:
+    """One row of the heartbeat detection-latency/overhead experiment."""
+
+    name: str
+    completed: bool
+    virtual_ns: Optional[int]  # None when the run aborted
+    heartbeat_interval_ns: Optional[int]  # None: heartbeats off
+    heartbeat_lease_ns: Optional[int]
+    detection_bound_ns: Optional[int]  # worst-case bound from the config
+    detection_ns: Optional[int]  # fault time -> failure detected
+    evidence: str  # which detector fired first: rpc-timeout / lease-expiry
+    lost_threads: int
+    heartbeats_sent: int
+    heartbeat_bytes: int  # renewal wire cost over the whole run
+    lease_expiries: int  # expired lease checks (missed-window evidence)
+    failure: str = ""  # SimulationError/ServiceTimeout text when aborted
+
+    def row(self) -> tuple:
+        us = lambda v: "-" if v is None else v / 1e3
+        return (
+            self.name,
+            "yes" if self.completed else "ABORTED",
+            us(self.virtual_ns),
+            us(self.heartbeat_interval_ns),
+            us(self.heartbeat_lease_ns),
+            us(self.detection_bound_ns),
+            us(self.detection_ns),
+            self.evidence or "-",
+            self.lost_threads,
+            self.heartbeats_sent,
+            self.heartbeat_bytes,
+        )
+
+
+@dataclass
+class Fig5HeartbeatResult:
+    """Active-liveness sweep (ROADMAP "Robustness": lease-based heartbeat
+    failure detection; docs/PROTOCOL.md "Failure detection").
+
+    The *quiet victim* is the failure the passive detector cannot see: a
+    slave that crashes while no peer has an outstanding call against it.
+    With only RPC-timeout evidence the join hangs until the virtual-time
+    budget aborts the run (the seed behavior, reproduced here as an ABORTED
+    row).  Arming lease-renewal heartbeats bounds detection at
+    ``DQEMUConfig.heartbeat_detection_bound_ns()`` regardless of traffic:
+    the sweep shows detection latency growing with the renewal interval
+    while the renewal wire bytes shrink — the classic liveness
+    latency/overhead tradeoff.  The busy-victim rows crash a node in the
+    middle of dense coherence traffic with a *slack* lease armed: the RPC
+    retry budget exhausts first and the failure record's evidence says
+    ``rpc-timeout``, demonstrating that both detectors merge into the same
+    per-peer health view instead of racing each other.
+    """
+
+    scenarios: list[HeartbeatScenario]
+    heartbeat_breakdown: str  # per-service table, shortest-interval run
+    peer_states: dict[int, str]  # final health view of that same run
+    params: dict
+
+    def scenario(self, name: str) -> HeartbeatScenario:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def sweep_scenarios(self) -> list[HeartbeatScenario]:
+        return [
+            s for s in self.scenarios
+            if s.heartbeat_interval_ns is not None and s.name.startswith("quiet")
+        ]
+
+    def as_json_dict(self) -> dict:
+        """Machine-readable form for ``BENCH_heartbeat.json`` (byte-stable)."""
+        return {
+            "experiment": "fig5_heartbeat",
+            "params": dict(self.params),
+            "peer_states": {
+                str(nid): state for nid, state in self.peer_states.items()
+            },
+            "scenarios": [dataclasses.asdict(s) for s in self.scenarios],
+        }
+
+    def render(self) -> str:
+        table = render_table(
+            [
+                "scenario",
+                "completed",
+                "time (us)",
+                "hb interval (us)",
+                "lease (us)",
+                "bound (us)",
+                "detection (us)",
+                "evidence",
+                "lost threads",
+                "hb frames",
+                "hb wire (B)",
+            ],
+            [s.row() for s in self.scenarios],
+            title=(
+                "Fig. 5 (heartbeat) — lease-based liveness: detection "
+                "latency vs renewal overhead, quiet and busy victims"
+            ),
+        )
+        aborted = [s for s in self.scenarios if not s.completed]
+        lines = [table, ""]
+        for s in aborted:
+            lines.append(f"{s.name}: {s.failure}")
+        peers = ", ".join(
+            f"n{nid}={state}" for nid, state in sorted(self.peer_states.items())
+        )
+        lines.append(f"peer health after shortest-interval run: {peers}")
+        lines.append("")
+        lines.append(self.heartbeat_breakdown)
+        return "\n".join(lines)
+
+
+def run_fig5_heartbeat(
+    n_threads: int = 3,
+    terms: int = 600,
+    reps: int = 2,
+    n_slaves: int = 3,
+    comm_scale: float = 100.0,
+    timeout_ns: int = 5_000_000,
+    retries: int = 4,
+    backoff_base_ns: int = 10_000,
+    backoff_jitter_ns: int = 2_000,
+    crash_frac: float = 0.5,
+    seed: int = 7,
+    victim: Optional[int] = None,
+    interval_fracs: Sequence[float] = (0.01, 0.02, 0.05),
+    busy_n_options: int = 2040,
+    busy_reps: int = 4,
+    busy_timeout_ns: int = 20_000,
+    busy_crash_frac: float = 0.35,
+    busy_interval_frac: float = 0.2,
+) -> Fig5HeartbeatResult:
+    """Active-liveness sweep (see :class:`Fig5HeartbeatResult`).
+
+    The quiet-victim workload is pi-Taylor (no page sharing): once the
+    victim's worker finishes its quantum requests, no peer addresses it
+    again, so a crash there is invisible to the passive RPC-timeout
+    detector — ``rpc_timeout_ns`` is deliberately generous to make the
+    passive path hopeless within the run budget.  ``interval_fracs`` sweeps
+    ``heartbeat_interval_ns`` as fractions of the clean run's duration
+    (lease defaulting to 4x the interval).  The busy-victim workload is
+    blackscholes with tight RPC retry budgets and a slack lease
+    (``busy_interval_frac``), so RPC evidence wins the race.
+
+    Heartbeat parameters are applied *after* ``time_scaled`` — they are
+    already expressed in post-scale virtual ns (derived from a measured
+    clean duration), unlike the RPC constants which scale with the fabric.
+    """
+    prog = pi_taylor.build(n_threads=n_threads, terms=terms, reps=reps)
+    victim = n_slaves if victim is None else victim
+    reliable = dict(
+        rpc_timeout_ns=timeout_ns,
+        rpc_max_retries=retries,
+        rpc_backoff_base_ns=backoff_base_ns,
+        rpc_backoff_jitter_ns=backoff_jitter_ns,
+        evacuation_enabled=True,
+        health_aware_placement=True,
+    )
+
+    def make_cfg(hb_kw=None, **cfg_kw) -> DQEMUConfig:
+        cfg = DQEMUConfig(**cfg_kw).time_scaled(comm_scale)
+        if hb_kw:
+            # Post-scale: heartbeat knobs are in final virtual ns already.
+            cfg = cfg.with_options(**hb_kw)
+        return cfg
+
+    def run(program, cfg: DQEMUConfig) -> RunResult:
+        return Cluster(n_slaves, cfg).run(program, **RUN_KW)
+
+    def scenario(
+        name: str, result: RunResult, cfg: DQEMUConfig,
+        fault_ns: Optional[int], fault_victim: int,
+    ) -> HeartbeatScenario:
+        failures = result.failures
+        rec = failures.nodes.get(fault_victim) if failures is not None else None
+        detection = None
+        if rec is not None and fault_ns is not None:
+            detection = rec.detected_ns - fault_ns
+        proto = result.stats.protocol
+        armed = cfg.heartbeat_interval_ns is not None
+        return HeartbeatScenario(
+            name=name,
+            completed=True,
+            virtual_ns=result.virtual_ns,
+            heartbeat_interval_ns=cfg.heartbeat_interval_ns,
+            heartbeat_lease_ns=cfg.effective_heartbeat_lease_ns if armed else None,
+            detection_bound_ns=cfg.heartbeat_detection_bound_ns() if armed else None,
+            detection_ns=detection,
+            evidence=rec.evidence if rec is not None else "",
+            lost_threads=failures.lost_threads if failures else 0,
+            heartbeats_sent=proto.heartbeats_sent,
+            heartbeat_bytes=proto.heartbeat_bytes,
+            lease_expiries=proto.heartbeat_lease_expiries,
+        )
+
+    scenarios = []
+
+    clean = run(prog, make_cfg(**reliable))
+    scenarios.append(scenario("quiet: no faults", clean, make_cfg(**reliable),
+                              None, victim))
+
+    crash_at = int(crash_frac * clean.virtual_ns)
+    plan = FaultPlan.crash(victim, crash_at, seed=seed)
+
+    # Passive detection only: nobody calls the corpse, so nothing trips the
+    # retry budget and the join starves until the budget aborts the run.
+    try:
+        hung = run(prog, make_cfg(fault_plan=plan, **reliable))
+        scenarios.append(
+            scenario("quiet: crash (no heartbeat)", hung,
+                     make_cfg(**reliable), crash_at, victim)
+        )
+    except (SimulationError, ServiceTimeout) as exc:
+        scenarios.append(
+            HeartbeatScenario(
+                name="quiet: crash (no heartbeat)",
+                completed=False,
+                virtual_ns=None,
+                heartbeat_interval_ns=None,
+                heartbeat_lease_ns=None,
+                detection_bound_ns=None,
+                detection_ns=None,
+                evidence="",
+                lost_threads=0,
+                heartbeats_sent=0,
+                heartbeat_bytes=0,
+                lease_expiries=0,
+                failure=str(exc),
+            )
+        )
+
+    # Interval sweep: detection latency grows with the renewal interval,
+    # renewal wire bytes shrink.  Shortest interval first so its breakdown
+    # (the most heartbeat traffic) feeds the committed per-service table.
+    heartbeat_breakdown = ""
+    peer_states: dict[int, str] = {}
+    for frac in sorted(interval_fracs):
+        interval = max(1, int(frac * clean.virtual_ns))
+        cfg = make_cfg(
+            hb_kw=dict(heartbeat_interval_ns=interval),
+            fault_plan=plan, **reliable,
+        )
+        hb = run(prog, cfg)
+        scenarios.append(
+            scenario(f"quiet: crash + hb ({frac:g}x)", hb, cfg, crash_at, victim)
+        )
+        if not heartbeat_breakdown:
+            heartbeat_breakdown = render_service_breakdown(hb.stats)
+            peer_states = {
+                nid: peer.state.value for nid, peer in hb.health.peers.items()
+            }
+
+    # Busy victim: dense coherence traffic means the first call aimed at
+    # the corpse exhausts its retry budget well inside the slack lease —
+    # the failure record must say the passive detector fired first.
+    busy_prog = blackscholes.build(
+        n_threads=2 * n_slaves, n_options=busy_n_options, reps=busy_reps
+    )
+    busy_kw = dict(reliable, rpc_timeout_ns=busy_timeout_ns)
+    busy_clean = run(busy_prog, make_cfg(**busy_kw))
+    scenarios.append(
+        scenario("busy: no faults", busy_clean, make_cfg(**busy_kw),
+                 None, victim)
+    )
+    busy_crash_at = int(busy_crash_frac * busy_clean.virtual_ns)
+    busy_plan = FaultPlan.crash(victim, busy_crash_at, seed=seed)
+    busy_interval = max(1, int(busy_interval_frac * busy_clean.virtual_ns))
+    busy_cfg = make_cfg(
+        hb_kw=dict(heartbeat_interval_ns=busy_interval),
+        fault_plan=busy_plan, **busy_kw,
+    )
+    busy = run(busy_prog, busy_cfg)
+    scenarios.append(
+        scenario("busy: crash + slack hb", busy, busy_cfg,
+                 busy_crash_at, victim)
+    )
+
+    return Fig5HeartbeatResult(
+        scenarios=scenarios,
+        heartbeat_breakdown=heartbeat_breakdown,
+        peer_states=peer_states,
+        params=dict(
+            n_threads=n_threads, terms=terms, reps=reps,
+            n_slaves=n_slaves, comm_scale=comm_scale,
+            timeout_ns=timeout_ns, retries=retries,
+            backoff_base_ns=backoff_base_ns, backoff_jitter_ns=backoff_jitter_ns,
+            crash_frac=crash_frac, seed=seed, victim=victim,
+            interval_fracs=tuple(sorted(interval_fracs)),
+            busy_n_options=busy_n_options, busy_reps=busy_reps,
+            busy_timeout_ns=busy_timeout_ns,
+            busy_crash_frac=busy_crash_frac,
+            busy_interval_frac=busy_interval_frac,
+        ),
     )
 
 

@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.analysis import (
     run_fig5,
     run_fig5_crash,
+    run_fig5_heartbeat,
     run_fig5_sharded,
     run_fig6,
     run_fig6_coherence,
@@ -73,6 +74,7 @@ def _ablations():
 EXPERIMENTS = {
     "fig5": run_fig5,
     "fig5_crash": run_fig5_crash,
+    "fig5_heartbeat": run_fig5_heartbeat,
     "fig5_sharded": run_fig5_sharded,
     "fig6": run_fig6,
     "fig6_coherence": run_fig6_coherence,

@@ -181,6 +181,33 @@ class DQEMUConfig:
     # Master-side cost of landing one checkpoint frame (store the context,
     # before per-page install work under the shard locks).
     checkpoint_service_ns: int = 4_000
+    # Active liveness (docs/PROTOCOL.md "Failure detection"): every slave
+    # sends a lease-renewal heartbeat frame to the master every
+    # heartbeat_interval_ns of virtual time.  The master's HeartbeatService
+    # treats a renewal as positive liveness evidence and a whole lease of
+    # silence as failure evidence, escalated through the same HealthTracker
+    # thresholds as RPC timeouts (up -> suspect -> down) — so a crash on a
+    # *quiet victim*, a node nobody happens to call, is detected within a
+    # bounded window (heartbeat_detection_bound_ns) instead of hanging the
+    # join forever.  None (the default) sends nothing: wire traffic and
+    # every committed table stay bit-identical.  Requires
+    # evacuation_enabled: lease expiry drives the failure domain's recovery
+    # path exactly as an RPC-detected death does.
+    heartbeat_interval_ns: Optional[int] = None
+    # Lease duration: how much silence the master tolerates before a peer
+    # starts accruing missed-lease evidence.  Must cover at least two
+    # renewal intervals, so one delayed or dropped frame can never
+    # false-positive a healthy node.  None derives 4x the interval.
+    heartbeat_lease_ns: Optional[int] = None
+    # Adaptive checkpoint cadence (ROADMAP, PR 9 leftover): derive the
+    # checkpoint interval from the heartbeat detector's worst-case latency
+    # (interval = factor * heartbeat_detection_bound_ns) instead of
+    # hand-tuning checkpoint_interval_ns.  A restored thread re-executes at
+    # most one detection span plus one checkpoint interval, so keying the
+    # cadence on the bound makes rollback distance track the detector's
+    # guarantee.  Mutually exclusive with an explicit
+    # checkpoint_interval_ns; requires heartbeat_interval_ns.
+    checkpoint_lease_factor: Optional[float] = None
     # Drain-driven load rebalancing: when a thread's single-stint queue wait
     # on a slave crosses this threshold, the node cooperatively evacuates its
     # hottest runnable thread to an underloaded node via the EvacuateThread
@@ -279,6 +306,41 @@ class DQEMUConfig:
                 "checkpoint_interval_ns needs evacuation_enabled: restore "
                 "rides the failure domain's recovery path"
             )
+        if self.heartbeat_interval_ns is not None and self.heartbeat_interval_ns <= 0:
+            raise ConfigError("heartbeat_interval_ns must be positive (or None)")
+        if self.heartbeat_interval_ns is not None and not self.evacuation_enabled:
+            raise ConfigError(
+                "heartbeat_interval_ns needs evacuation_enabled: lease expiry "
+                "drives the failure domain's recovery path"
+            )
+        if self.heartbeat_lease_ns is not None:
+            if self.heartbeat_interval_ns is None:
+                raise ConfigError(
+                    "heartbeat_lease_ns needs heartbeat_interval_ns: a lease "
+                    "is renewed by heartbeat frames"
+                )
+            if self.heartbeat_lease_ns < 2 * self.heartbeat_interval_ns:
+                raise ConfigError(
+                    "heartbeat_lease_ns must cover at least two renewal "
+                    "intervals: a single delayed frame must never "
+                    "false-positive a healthy node"
+                )
+        if self.checkpoint_lease_factor is not None:
+            if self.checkpoint_lease_factor <= 0:
+                raise ConfigError(
+                    "checkpoint_lease_factor must be positive (or None)"
+                )
+            if self.heartbeat_interval_ns is None:
+                raise ConfigError(
+                    "checkpoint_lease_factor needs heartbeat_interval_ns: the "
+                    "checkpoint cadence derives from the detection bound"
+                )
+            if self.checkpoint_interval_ns is not None:
+                raise ConfigError(
+                    "checkpoint_lease_factor and checkpoint_interval_ns are "
+                    "mutually exclusive: use the derived or the explicit "
+                    "cadence, not both"
+                )
         if self.rebalance_threshold_ns is not None and self.rebalance_threshold_ns <= 0:
             raise ConfigError("rebalance_threshold_ns must be positive (or None)")
         if self.rebalance_threshold_ns is not None and not self.evacuation_enabled:
@@ -311,6 +373,52 @@ class DQEMUConfig:
     @property
     def effective_cpi_dbt(self) -> float:
         return self.cpi_dbt * self.qemu_cpi_discount if self.pure_qemu else self.cpi_dbt
+
+    @property
+    def effective_heartbeat_lease_ns(self) -> Optional[int]:
+        """The armed lease duration: explicit, or 4x the renewal interval.
+
+        Four intervals tolerate up to three consecutive lost-or-late
+        renewals before the first missed-lease evidence accrues, keeping
+        the detector quiet under transient loss while still bounding
+        detection at a small multiple of the interval.
+        """
+        if self.heartbeat_lease_ns is not None:
+            return self.heartbeat_lease_ns
+        if self.heartbeat_interval_ns is None:
+            return None
+        return 4 * self.heartbeat_interval_ns
+
+    def heartbeat_detection_bound_ns(self) -> Optional[int]:
+        """Worst-case crash-to-``node_failed`` latency of the detector.
+
+        A renewal in flight at the crash lands up to one one-way wire
+        latency later and re-arms a full lease; the master's monitor then
+        needs ``health_down_after`` consecutive expired checks — one per
+        renewal interval, plus up to one interval of tick phase — before
+        the peer is demoted to down and the failure domain fires.
+        """
+        if self.heartbeat_interval_ns is None:
+            return None
+        return (
+            self.effective_heartbeat_lease_ns
+            + (self.health_down_after + 1) * self.heartbeat_interval_ns
+            + self.one_way_latency_ns
+        )
+
+    @property
+    def effective_checkpoint_interval_ns(self) -> Optional[int]:
+        """The armed checkpoint cadence: explicit ``checkpoint_interval_ns``,
+        or ``checkpoint_lease_factor`` times the heartbeat detector's
+        worst-case detection latency (the two are mutually exclusive)."""
+        if self.checkpoint_interval_ns is not None:
+            return self.checkpoint_interval_ns
+        if self.checkpoint_lease_factor is None:
+            return None
+        return max(
+            1,
+            int(self.checkpoint_lease_factor * self.heartbeat_detection_bound_ns()),
+        )
 
     def retry_policy(self) -> Optional["RetryPolicy"]:
         """The RPC reliability policy these options describe, or ``None``.
@@ -369,8 +477,20 @@ class DQEMUConfig:
         """
         if k <= 0:
             raise ConfigError("scale factor must be positive")
+        hb_interval = (
+            None if self.heartbeat_interval_ns is None
+            else max(1, int(self.heartbeat_interval_ns / k))
+        )
+        # Clamp the scaled lease so the two-interval invariant survives
+        # integer truncation at extreme scale factors.
+        hb_lease = (
+            None if self.heartbeat_lease_ns is None
+            else max(2 * hb_interval, int(self.heartbeat_lease_ns / k))
+        )
         return replace(
             self,
+            heartbeat_interval_ns=hb_interval,
+            heartbeat_lease_ns=hb_lease,
             bandwidth_bps=self.bandwidth_bps * k,
             one_way_latency_ns=max(1, int(self.one_way_latency_ns / k)),
             loopback_latency_ns=max(1, int(self.loopback_latency_ns / k)),

@@ -45,6 +45,7 @@ from repro.core.services.coordinator import CrossShardCoordinator
 from repro.core.services.failure import FailureDomainService
 from repro.core.services.forwarding import ForwardingService
 from repro.core.services.futexes import FutexService
+from repro.core.services.heartbeat import HeartbeatService
 from repro.core.services.splitting import SplittingService
 from repro.core.services.syscalls import SyscallService
 from repro.core.stats import RunStats
@@ -185,7 +186,8 @@ class MasterRuntime:
         # implies evacuation_enabled, so failure_view is always there too).
         self.failure_domain: Optional[FailureDomainService] = None
         self.checkpoint_service: Optional[CheckpointService] = None
-        if failure_view is not None and config.checkpoint_interval_ns is not None:
+        self.heartbeat_service: Optional[HeartbeatService] = None
+        if failure_view is not None and config.effective_checkpoint_interval_ns is not None:
             self.checkpoint_service = CheckpointService(
                 sim, config, self.endpoint, self.trace, run_stats,
                 failure_view, self.node_ids, node.node_id,
@@ -204,6 +206,17 @@ class MasterRuntime:
                 self.syscalls.executor, self.futexes,
                 checkpoints=self.checkpoint_service,
             )
+        if failure_view is not None and config.heartbeat_interval_ns is not None:
+            # Active liveness (docs/PROTOCOL.md "Failure detection"): lease
+            # expiry escalates through the shared HealthTracker, whose
+            # on_down callbacks the fleet wires to the failure domain —
+            # exactly the path an exhausted RPC budget takes.
+            self.heartbeat_service = HeartbeatService(
+                sim, config, self.endpoint, self.trace, run_stats,
+                node.endpoint.fabric.health, failure_view,
+                self.node_ids, node.node_id,
+                spawn_guarded, lambda: self._finished,
+            )
 
         shard0 = self.shards[0]
         for service in (self.syscalls, self.forwarding, self.futexes):
@@ -212,6 +225,8 @@ class MasterRuntime:
             shard0.dispatcher.register(self.failure_domain)
         if self.checkpoint_service is not None:
             shard0.dispatcher.register(self.checkpoint_service)
+        if self.heartbeat_service is not None:
+            shard0.dispatcher.register(self.heartbeat_service)
 
         # Single-shard aliases (debugging, tests, unsharded call sites).
         self.coherence = shard0.coherence
@@ -255,6 +270,8 @@ class MasterRuntime:
                 self._spawn_guarded(
                     self._manager(nid, shard), f"mgr{nid}.{shard.shard}@master"
                 )
+        if self.heartbeat_service is not None:
+            self.heartbeat_service.start()
 
     def _manager(self, nid: int, shard: MasterShard):
         """One manager per (node, shard), serving that node's requests for

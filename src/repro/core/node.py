@@ -35,6 +35,7 @@ from repro.core.dsmmem import DSMMemory, LocalMemory, MergeStall
 from repro.core.gthread import GuestThread, GuestThreadState
 from repro.core.llsc import LLSCTable
 from repro.core.services.base import Dispatcher, attribute_timeouts
+from repro.core.services.heartbeat import NodeHeartbeatService
 from repro.core.services.nodeside import (
     NodeCheckpointService,
     NodeCoherenceService,
@@ -123,10 +124,17 @@ class NodeTenant:
             NodeControlService.name,
         ):
             run_stats.service(name)
-        if config.checkpoint_interval_ns is not None:
+        if config.effective_checkpoint_interval_ns is not None:
             # Mirrors the conditional dispatcher registration: the row
             # exists exactly when the service does.
             run_stats.service(NodeCheckpointService.name)
+        if (
+            config.heartbeat_interval_ns is not None
+            and node.node_id != node.master_id
+        ):
+            # Same rule for the lease-renewal sender (slaves only: the
+            # master's liveness is axiomatic).
+            run_stats.service(NodeHeartbeatService.name)
         if node.rpc_retry is not None:
             self.page_retry_stats = run_stats.service(NodeCoherenceService.name)
             self.merge_retry_stats = run_stats.service(NodeSplitTableService.name)
@@ -137,7 +145,7 @@ class NodeTenant:
             self.merge_retry_stats = None
             self.syscall_retry_stats = None
             self.evac_retry_stats = None
-        if node.rpc_retry is not None and config.checkpoint_interval_ns is not None:
+        if node.rpc_retry is not None and config.effective_checkpoint_interval_ns is not None:
             self.ckpt_retry_stats = run_stats.service(NodeCheckpointService.name)
         else:
             self.ckpt_retry_stats = None
@@ -212,12 +220,18 @@ class NodeRuntime:
         #: Buddy-held register snapshots (peer-mode checkpointing):
         #: (source node, tenant, tid) -> (taken_ns, context).
         self.peer_checkpoints: dict[tuple[int, int, int], tuple] = {}
-        if config.checkpoint_interval_ns is not None:
+        if config.effective_checkpoint_interval_ns is not None:
             # Must register before the router captures the command-kind set
             # below, or peer_checkpoint/fetch_checkpoints frames would route
             # to a master manager.  Conditional so default runs create no
             # "node.checkpoint" stats row and stay bit-identical.
             self.dispatcher.register(NodeCheckpointService(self))
+        #: Lease-renewal sender (docs/PROTOCOL.md "Failure detection"):
+        #: built only when heartbeats are armed, and only on slaves — the
+        #: master never renews a lease with itself.
+        self.heartbeat_sender: Optional[NodeHeartbeatService] = None
+        if config.heartbeat_interval_ns is not None and node_id != master_id:
+            self.heartbeat_sender = NodeHeartbeatService(self)
         command_kinds = self.dispatcher.kinds
         nshards = config.master_shards
         self.endpoint.set_router(
@@ -303,6 +317,8 @@ class NodeRuntime:
         self.sim.spawn(self._guarded(self._communicator()), name=f"comm@{self.node_id}")
         for k in range(self.n_cores):
             self.sim.spawn(self._guarded(self._core(k)), name=f"core{k}@{self.node_id}")
+        if self.heartbeat_sender is not None:
+            self.heartbeat_sender.start()
 
     def _guarded(self, gen):
         """Wrap a node process so crashes surface as run failures."""
@@ -458,7 +474,7 @@ class NodeRuntime:
     # -- checkpointing (docs/PROTOCOL.md "Checkpoint/restore") ------------------
 
     def _checkpoint_due(self, th: GuestThread) -> bool:
-        interval = self.config.checkpoint_interval_ns
+        interval = self.config.effective_checkpoint_interval_ns
         return (
             interval is not None
             and self.node_id != self.master_id  # the master cannot crash

@@ -121,7 +121,13 @@ class FailureDomainService:
         # succeed; failing them now un-blocks their handlers before the
         # handlers' own clients time out in cascade.
         self.endpoint.rpc.abort_peer(node)
-        rec = NodeFailure(node=node, kind="crash", detected_ns=self.sim.now)
+        rec = NodeFailure(
+            node=node, kind="crash", detected_ns=self.sim.now,
+            # Which evidence fired first — an exhausted RPC budget or the
+            # heartbeat monitor's lease expiry (docs/PROTOCOL.md "Failure
+            # detection").
+            evidence=self.view.tracker.down_evidence(node),
+        )
         self.failures.nodes[node] = rec
         stats = self.run_stats.service(self.name)
         stats.requests += 1

@@ -1,0 +1,203 @@
+"""Active liveness: lease-based heartbeat failure detection
+(docs/PROTOCOL.md "Failure detection").
+
+The failure detector that shipped with the failure domain is *passive*: it
+only learns a peer died when some RPC aimed at it times out.  A crash on a
+quiet victim — a node nobody happens to call — therefore goes undetected
+and the join hangs forever (ROADMAP, pre-existing since PR 5).  This module
+adds the active half:
+
+* :class:`NodeHeartbeatService` (node side) — every slave sends a
+  fire-and-forget :class:`~repro.net.messages.Heartbeat` frame to the
+  master every ``heartbeat_interval_ns`` of virtual time.  No reply, no
+  retransmit state: nothing ever accumulates against a corpse, and the
+  frames ride the fabric's fault seam so drop/delay/duplicate/partition
+  plans exercise the detector directly.
+
+* :class:`HeartbeatService` (master side) — each renewal re-arms a
+  per-peer lease (``effective_heartbeat_lease_ns`` of tolerated silence)
+  and feeds the shared :class:`~repro.net.health.HealthTracker` as
+  positive evidence.  A monitor process checks every interval; a peer
+  whose lease has expired accrues one *missed-lease* count per check,
+  escalated through the same ``suspect_after`` / ``down_after``
+  thresholds as missed RPC timeout windows — heartbeat and RPC evidence
+  merge in one health view instead of forking a second one.  The DOWN
+  transition fires the tracker's ``on_down`` callbacks, driving
+  :meth:`FailureDomainService.node_failed` exactly as an RPC-detected
+  death does: checkpoint restore, directory re-homing, waiter evacuation
+  and reaping all run without any tenant traffic touching the corpse.
+
+Detection latency is bounded by
+:meth:`DQEMUConfig.heartbeat_detection_bound_ns`: one in-flight renewal's
+wire latency, plus a full lease, plus ``health_down_after`` (+1 tick of
+phase) monitor intervals.  Because the lease must cover at least two
+intervals and misses escalate through ``suspect`` first, a single delayed,
+dropped or duplicated renewal can never false-positive a healthy node, and
+a renewal that lands before the DOWN threshold demotes suspicion back to
+``up``.
+
+Both halves are built only when ``heartbeat_interval_ns`` is set, so
+default runs create no service rows, send no frames, and stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.config import DQEMUConfig
+from repro.core.stats import RunStats
+from repro.net.endpoint import Endpoint
+from repro.net.messages import Heartbeat
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import NodeRuntime
+    from repro.net.health import ClusterHealthView, HealthTracker
+
+__all__ = ["HeartbeatService", "NodeHeartbeatService"]
+
+
+class HeartbeatService:
+    """Master half: per-peer lease tracking on the simulated clock."""
+
+    name = "heartbeat"
+    handled_kinds = frozenset({"heartbeat"})
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DQEMUConfig,
+        endpoint: Endpoint,
+        trace,
+        run_stats: RunStats,
+        health: "HealthTracker",
+        view: "ClusterHealthView",
+        node_ids: list[int],
+        node_id: int,
+        spawn_guarded,
+        finished: Callable[[], bool],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.endpoint = endpoint
+        self.trace = trace
+        self.run_stats = run_stats
+        self.health = health
+        self.view = view
+        self.node_ids = list(node_ids)
+        self.node_id = node_id
+        self.spawn_guarded = spawn_guarded
+        self.finished = finished
+        self.interval_ns = config.heartbeat_interval_ns
+        self.lease_ns = config.effective_heartbeat_lease_ns
+        #: Per-peer lease expiry on the simulated clock: the instant after
+        #: which silence becomes failure evidence.
+        self.deadlines: dict[int, int] = {}
+
+    def start(self) -> None:
+        """Arm every slave's initial lease and spawn the monitor.
+
+        The first renewal arrives one interval (plus wire latency) after
+        boot; the lease invariant (>= 2 intervals) guarantees the initial
+        grant outlives it, so a healthy slave never starts suspected.
+        """
+        for nid in self.node_ids:
+            if nid != self.node_id:
+                self.deadlines[nid] = self.sim.now + self.lease_ns
+        self.spawn_guarded(self._monitor(), f"heartbeat-monitor@{self.node_id}")
+
+    def _monitor(self):
+        """Check every peer's lease once per renewal interval.
+
+        Each check of an expired lease is one unit of failure evidence —
+        the analogue of one missed RPC timeout window — so a peer goes
+        ``up -> suspect -> down`` over ``health_down_after`` silent
+        intervals rather than being shot on first expiry.
+        """
+        proto = self.run_stats.protocol
+        while True:
+            yield self.sim.timeout(self.interval_ns)
+            if self.finished():
+                return
+            for nid in sorted(self.deadlines):
+                if self.view.is_failed(nid):
+                    continue  # already latched; recovery ran
+                if self.sim.now < self.deadlines[nid]:
+                    continue
+                proto.heartbeat_lease_expiries += 1
+                was = self.health.state_of(nid)
+                # May fire on_down synchronously -> FailureDomainService
+                # .node_failed, exactly as an exhausted RPC budget does.
+                self.health.lease_missed(nid)
+                now_state = self.health.state_of(nid)
+                if now_state is not was:
+                    overdue = self.sim.now - self.deadlines[nid]
+                    self.trace.emit(
+                        "node", nid,
+                        f"lease overdue {overdue}ns: "
+                        f"{was.value} -> {now_state.value}",
+                    )
+
+    # -- inbound frames ---------------------------------------------------------
+
+    def handle(self, msg):
+        yield from self._on_heartbeat(msg)
+
+    def _on_heartbeat(self, msg):
+        proto = self.run_stats.protocol
+        if self.view.is_failed(msg.src):
+            # A posthumous renewal (delayed in the fabric, or racing the
+            # detector) must not resurrect a latched-failed peer: recovery
+            # already re-homed its state.
+            proto.heartbeats_ignored += 1
+            return
+        self.deadlines[msg.src] = self.sim.now + self.lease_ns
+        proto.heartbeats_received += 1
+        # Positive liveness evidence: demotes suspect back to up, exactly
+        # as an answered RPC would.
+        self.health.record_success(msg.src)
+        return
+        yield  # pragma: no cover - generator protocol
+
+
+class NodeHeartbeatService:
+    """Node half: the periodic lease-renewal sender.
+
+    Not a frame handler — the master never messages the sender — but
+    shaped like every other node service so its conditional stats row and
+    lifecycle follow the same rules.  Master node 0 never sends: its
+    liveness is axiomatic (the cluster has no run without it).
+    """
+
+    name = "node.heartbeat"
+    handled_kinds = frozenset()
+
+    def __init__(self, node: "NodeRuntime") -> None:
+        self.node = node
+        self.seq = 0
+
+    def start(self) -> None:
+        node = self.node
+        node.sim.spawn(
+            node._guarded(self._sender()), name=f"heartbeat@{node.node_id}"
+        )
+
+    def _sender(self):
+        node = self.node
+        interval = node.config.heartbeat_interval_ns
+        stats = node.run_stats.service(self.name)
+        proto = node.run_stats.protocol
+        while not node.crashed and not node.shutdown:
+            yield node.sim.timeout(interval)
+            if node.crashed or node.shutdown:
+                return
+            self.seq += 1
+            msg = Heartbeat(seq=self.seq)
+            stats.requests += 1
+            proto.heartbeats_sent += 1
+            proto.heartbeat_bytes += msg.size_bytes()
+            node.endpoint.send(node.master_id, msg)
+
+    def handle(self, msg):  # pragma: no cover - no inbound kinds
+        raise AssertionError(f"{self.name} handles no inbound frames")

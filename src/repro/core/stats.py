@@ -105,6 +105,13 @@ class ProtocolStats:
     #: Drain-driven load rebalancing: hottest-thread evacuations triggered by
     #: a queue-wait stint crossing rebalance_threshold_ns.
     rebalance_evacuations: int = 0
+    #: Active-liveness telemetry (docs/PROTOCOL.md "Failure detection");
+    #: all zero unless DQEMUConfig.heartbeat_interval_ns is set.
+    heartbeats_sent: int = 0  # lease renewals slaves put on the wire
+    heartbeats_received: int = 0  # renewals the master's monitor landed
+    heartbeats_ignored: int = 0  # posthumous renewals from latched-failed nodes
+    heartbeat_lease_expiries: int = 0  # monitor checks that found an expired lease
+    heartbeat_bytes: int = 0  # wire bytes spent on renewals
 
 
 @dataclass
@@ -246,6 +253,11 @@ class NodeFailure:
     lost: list[tuple[int, str]] = field(default_factory=list)
     rehomed_pages: int = 0  # Shared copies the directory promoted elsewhere
     lost_pages: int = 0  # Modified pages that existed only on the dead node
+    #: Which failure evidence fired first for a crash: "rpc-timeout" (a
+    #: retry budget ran out against the node) or "lease-expiry" (the
+    #: heartbeat monitor saw a whole lease of silence).  Empty for drains,
+    #: which are ordered rather than detected.
+    evidence: str = ""
 
     @property
     def recovery_ns(self) -> Optional[int]:
@@ -297,11 +309,31 @@ class FailureStats:
     def lost_pages(self) -> int:
         return sum(f.lost_pages for f in self.nodes.values())
 
+    def detected_by(self, evidence: str) -> int:
+        """Crashes whose first-firing failure evidence was ``evidence``
+        ("rpc-timeout" or "lease-expiry")."""
+        return sum(
+            1 for f in self.nodes.values()
+            if f.kind == "crash" and f.evidence == evidence
+        )
+
+    @property
+    def lease_detections(self) -> int:
+        """Crashes the heartbeat monitor detected before any RPC did."""
+        return self.detected_by("lease-expiry")
+
+    @property
+    def rpc_detections(self) -> int:
+        """Crashes an exhausted RPC retry budget detected first."""
+        return self.detected_by("rpc-timeout")
+
     def describe(self) -> str:
         if not self.nodes:
             return "no node failures"
         return "; ".join(
-            f"n{node} {f.kind}: {len(f.evacuated)} evacuated, "
+            f"n{node} {f.kind}"
+            + (f" ({f.evidence})" if f.evidence else "")
+            + f": {len(f.evacuated)} evacuated, "
             + (f"{len(f.restored)} restored, " if f.restored else "")
             + f"{len(f.lost)} lost, {f.rehomed_pages} pages re-homed, "
             f"{f.lost_pages} pages lost"

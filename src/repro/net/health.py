@@ -46,8 +46,21 @@ class PeerHealth:
     retransmits: int = 0  # retransmits ever aimed at this peer
     recoveries: int = 0  # calls that recovered after retransmitting to it
     exhausted: int = 0  # calls that ran out their whole retry budget
+    #: Whole heartbeat leases that expired with no renewal (0 unless the
+    #: heartbeat detector is armed; see repro.core.services.heartbeat).
+    lease_misses: int = 0
     last_heard_ns: Optional[int] = None
     last_failure_ns: Optional[int] = None
+    #: The failure signal that caused (or would cause) the most recent
+    #: demotion: "rpc-timeout" (missed retransmit windows / exhausted
+    #: budgets) or "lease-expiry" (the heartbeat monitor).  Read at the
+    #: DOWN transition to attribute which evidence fired first.
+    last_evidence: str = ""
+    #: ``on_down`` already fired for this peer.  Exactly-once latch:
+    #: racing rpc-timeout and lease-expiry evidence — or a heal/re-demote
+    #: cycle against an already-latched failure — must not re-run the
+    #: failure domain's recovery for the same peer.
+    down_reported: bool = False
 
 
 @dataclass
@@ -79,9 +92,16 @@ class HealthTracker:
         return self.peers[node]
 
     def _went_down(self, p: PeerHealth, was: PeerState) -> None:
-        if was is not PeerState.DOWN and p.state is PeerState.DOWN:
-            for cb in list(self.on_down):
-                cb(p.node)
+        if was is PeerState.DOWN or p.state is not PeerState.DOWN:
+            return
+        if p.down_reported:
+            return
+        # Latch before notifying: a callback that re-enters the tracker
+        # (the failure domain aborts pending calls, which can record more
+        # evidence against the same peer) must not re-fire.
+        p.down_reported = True
+        for cb in list(self.on_down):
+            cb(p.node)
 
     # -- signals from the RPC layer ------------------------------------------
 
@@ -91,12 +111,20 @@ class HealthTracker:
         p.consecutive_failures = 0
         p.state = PeerState.UP
 
+    def record_success(self, node: int) -> None:
+        """Positive liveness evidence from any source — an answered RPC, a
+        heartbeat lease renewal: resets the peer to ``up``.  A
+        slow-but-alive node that was ``suspect`` (or even transiently
+        ``down``) recovers the moment it proves itself again."""
+        self.heard_from(node)
+
     def retransmitted(self, node: int) -> None:
         p = self.peer(node)
         was = p.state
         p.retransmits += 1
         p.consecutive_failures += 1
         p.last_failure_ns = self.sim.now
+        p.last_evidence = "rpc-timeout"
         if p.consecutive_failures >= self.down_after:
             p.state = PeerState.DOWN
         elif p.consecutive_failures >= self.suspect_after:
@@ -113,10 +141,42 @@ class HealthTracker:
         was = p.state
         p.exhausted += 1
         p.last_failure_ns = self.sim.now
+        p.last_evidence = "rpc-timeout"
         p.state = PeerState.DOWN
         self._went_down(p, was)
 
+    # -- signals from the heartbeat monitor ----------------------------------
+
+    def lease_missed(self, node: int) -> None:
+        """A whole heartbeat lease expired with no renewal: failure
+        evidence, escalated through the same consecutive-failure
+        thresholds as a missed RPC timeout window — heartbeat and RPC
+        evidence merge in one view instead of forking a second health
+        state (docs/PROTOCOL.md "Failure detection")."""
+        p = self.peer(node)
+        was = p.state
+        p.lease_misses += 1
+        p.consecutive_failures += 1
+        p.last_failure_ns = self.sim.now
+        p.last_evidence = "lease-expiry"
+        if p.consecutive_failures >= self.down_after:
+            p.state = PeerState.DOWN
+        elif p.consecutive_failures >= self.suspect_after:
+            p.state = PeerState.SUSPECT
+        self._went_down(p, was)
+
     # -- queries ----------------------------------------------------------------
+
+    def down_evidence(self, node: int) -> str:
+        """Which evidence demoted ``node``: "rpc-timeout" or "lease-expiry".
+
+        Defaults to "rpc-timeout" for peers with no recorded evidence —
+        the only demotion path that existed before evidence tracking.
+        """
+        p = self.peers.get(node)
+        if p is None or not p.last_evidence:
+            return "rpc-timeout"
+        return p.last_evidence
 
     def state_of(self, node: int) -> PeerState:
         p = self.peers.get(node)

@@ -39,6 +39,7 @@ __all__ = [
     "PeerCheckpoint",
     "FetchCheckpoints",
     "CheckpointBatch",
+    "Heartbeat",
     "HEADER_BYTES",
 ]
 
@@ -357,6 +358,25 @@ class FetchCheckpoints(Message):
 
     def payload_bytes(self) -> int:
         return 8
+
+
+@dataclass(kw_only=True)
+class Heartbeat(Message):
+    """Slave → master: lease-renewal liveness frame (docs/PROTOCOL.md
+    "Failure detection").
+
+    Fire-and-forget — no reply, no retransmit state — so nothing ever
+    accumulates against a corpse, and the frame rides the fabric's fault
+    seam like every other: a drop/delay/partition plan exercises the
+    detector directly.  ``seq`` orders a sender's renewals for telemetry;
+    the master only cares that *a* renewal landed inside the lease.
+    """
+
+    kind: ClassVar[str] = "heartbeat"
+    seq: int = 0
+
+    def payload_bytes(self) -> int:
+        return 16  # sequence number + sender clock sample
 
 
 @dataclass(kw_only=True)

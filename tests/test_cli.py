@@ -123,7 +123,7 @@ class TestAsmCli:
 class TestExperimentsCli:
     def test_registry_covers_every_artifact(self):
         assert set(exp_cli.EXPERIMENTS) == {
-            "fig5", "fig5_crash", "fig5_sharded", "fig6",
+            "fig5", "fig5_crash", "fig5_heartbeat", "fig5_sharded", "fig6",
             "fig6_coherence", "table1", "fig7", "fig8", "ablations",
         }
 

@@ -209,10 +209,13 @@ class TestHealthTrackerHealing:
         assert t.state_of(4) is PeerState.UP
         assert t.states() == {4: PeerState.UP}
         assert t.peer(4).consecutive_failures == 0
-        # A relapse is a fresh transition and fires the detector again.
+        # A relapse demotes the peer again, but on_down stays exactly-once
+        # per peer: the failure domain's recovery must never re-run for a
+        # node it already wrote off, no matter how evidence races or heals.
         for _ in range(3):
             t.retransmitted(4)
-        assert fired == [4, 4]
+        assert t.state_of(4) is PeerState.DOWN
+        assert fired == [4]
 
 
 # -- fault-plan schedules ------------------------------------------------------
